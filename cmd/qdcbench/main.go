@@ -1,0 +1,196 @@
+// Command qdcbench regenerates the paper's tables and figures as text
+// tables: the Figure 2 bounds table, the Figure 3 MST curves (with measured
+// runs), the server-model hardness table of Theorems 3.4/6.1, the
+// Theorem 3.5 simulation accounting, and the Example 1.1 comparison.
+//
+// Usage:
+//
+//	qdcbench -figure 2        # the Figure 2 bounds table
+//	qdcbench -figure 3        # the Figure 3 curves + measured MST runs
+//	qdcbench -example 1.1     # Example 1.1 classical vs quantum Disjointness
+//	qdcbench -experiment sim  # Theorem 3.5 three-party simulation accounting
+//	qdcbench -experiment server  # server-model bounds vs trivial protocols
+//	qdcbench -all             # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qdc"
+)
+
+func main() {
+	figure := flag.Int("figure", 0, "regenerate a figure: 2 or 3")
+	example := flag.String("example", "", "regenerate an example: 1.1")
+	experiment := flag.String("experiment", "", "run an experiment: sim, server, verify, pipeline")
+	all := flag.Bool("all", false, "regenerate everything")
+	n := flag.Int("n", 100_000, "network size for the formula tables")
+	bandwidth := flag.Int("B", 32, "per-edge bandwidth in bits per round")
+	alpha := flag.Float64("alpha", 2, "approximation factor")
+	aspect := flag.Float64("W", 1e5, "weight aspect ratio")
+	flag.Parse()
+
+	ran := false
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "qdcbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *all || *figure == 2 {
+		ran = true
+		if err := printFigure2(*n, *bandwidth, *aspect, *alpha); err != nil {
+			fail(err)
+		}
+	}
+	if *all || *figure == 3 {
+		ran = true
+		if err := printFigure3(*n, *bandwidth, *alpha); err != nil {
+			fail(err)
+		}
+	}
+	if *all || *example == "1.1" {
+		ran = true
+		if err := printExample11(); err != nil {
+			fail(err)
+		}
+	}
+	if *all || *experiment == "server" {
+		ran = true
+		printServerTable(1200)
+	}
+	if *all || *experiment == "sim" {
+		ran = true
+		if err := printSimulation(); err != nil {
+			fail(err)
+		}
+	}
+	if *all || *experiment == "verify" {
+		ran = true
+		if err := printVerification(); err != nil {
+			fail(err)
+		}
+	}
+	if *all || *experiment == "pipeline" {
+		ran = true
+		if err := printPipeline(); err != nil {
+			fail(err)
+		}
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printFigure2(n, bandwidth int, aspect, alpha float64) error {
+	rows, err := qdc.Figure2Table(n, bandwidth, aspect, alpha)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Figure 2 — lower bounds at n=%d, B=%d, W=%g, alpha=%g\n", n, bandwidth, aspect, alpha)
+	fmt.Printf("%-46s | %-30s | %14s | %14s\n", "problem", "setting", "previous", "this paper")
+	for _, r := range rows {
+		fmt.Printf("%-46s | %-30s | %14.1f | %14.1f\n", r.Problem, r.Setting, r.PreviousValue, r.NewValue)
+	}
+	fmt.Println()
+	return nil
+}
+
+func printFigure3(n, bandwidth int, alpha float64) error {
+	ws := []float64{2, 16, 128, 1024, 8192, 1 << 16, 1 << 20}
+	pts, err := qdc.Figure3Curve(n, bandwidth, 17, alpha, ws)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Figure 3 — MST rounds vs aspect ratio W (n=%d, B=%d, alpha=%g)\n", n, bandwidth, alpha)
+	fmt.Printf("%12s %20s %20s\n", "W", "lower bound", "upper bound")
+	for _, p := range pts {
+		fmt.Printf("%12.0f %20.1f %20.1f\n", p.W, p.LowerBound, p.UpperBound)
+	}
+	fmt.Println("measured (lower-bound network family, Γ=8, L=17, B=128):")
+	fmt.Printf("%12s %12s %14s %14s %12s\n", "W", "nodes", "exact rounds", "approx rounds", "ratio")
+	for _, w := range []float64{4, 64, 1024} {
+		res, err := qdc.RunMSTExperiment(8, 17, 128, w, alpha, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%12.0f %12d %14d %14d %12.3f\n", w, res.Nodes, res.ExactRounds, res.ApproxRounds, res.ApproxRatio)
+	}
+	fmt.Println()
+	return nil
+}
+
+func printExample11() error {
+	fmt.Println("Example 1.1 — distributed Set Disjointness, classical vs quantum (b=4096, B=1)")
+	fmt.Printf("%10s %18s %18s %10s\n", "D", "classical rounds", "quantum rounds", "winner")
+	for _, d := range []int{2, 8, 32, 128, 512, 2048} {
+		cmp, err := qdc.RunDisjointnessComparison(4096, 1, d, 1)
+		if err != nil {
+			return err
+		}
+		w := "classical"
+		if cmp.QuantumWins {
+			w = "quantum"
+		}
+		fmt.Printf("%10d %18d %18d %10s\n", d, cmp.ClassicalRounds, cmp.QuantumRounds, w)
+	}
+	fmt.Println()
+	return nil
+}
+
+func printServerTable(n int) {
+	fmt.Printf("Server-model bounds (Theorems 3.4/6.1, Corollary 3.10) at n=%d\n", n)
+	fmt.Printf("%-40s %16s %16s %s\n", "problem", "lower bound", "trivial cost", "best known upper")
+	for _, r := range qdc.ServerModelTable(n) {
+		fmt.Printf("%-40s %16.1f %16.1f %s\n", r.Problem, r.LowerBound, r.TrivialCost, r.BestKnownUpper)
+	}
+	fmt.Println()
+}
+
+func printSimulation() error {
+	rep, err := qdc.SimulationExperiment(8, 257, 64, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Theorem 3.5 — three-party simulation accounting (Γ=8, L=257, B=64)")
+	fmt.Printf("  rounds:            %d (within L/2-2 budget: %v)\n", rep.Rounds, rep.WithinRoundBudget)
+	fmt.Printf("  Carol bits:        %d\n", rep.CarolBits)
+	fmt.Printf("  David bits:        %d\n", rep.DavidBits)
+	fmt.Printf("  server-model cost: %d\n", rep.ServerModelCost)
+	fmt.Printf("  O(B log L * T):    %d (within bound: %v)\n", rep.TheoremBound, rep.WithinTheoremBound)
+	fmt.Println()
+	return nil
+}
+
+func printVerification() error {
+	rows, err := qdc.RunVerificationExperiment(12, 17, 64, 1, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Corollary 3.7 — verification algorithms on the embedded Hamiltonian instance (Γ=12, L=17)")
+	fmt.Printf("%-34s %8s %10s %14s %14s\n", "problem", "answer", "rounds", "lower bound", "upper bound")
+	for _, r := range rows {
+		fmt.Printf("%-34s %8v %10d %14.1f %14.1f\n", r.Problem, r.Answer, r.Rounds, r.LowerBound, r.UpperBound)
+	}
+	fmt.Println()
+	return nil
+}
+
+func printPipeline() error {
+	res, err := qdc.RunProofPipeline(4, 64, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 1 — proof pipeline on a random IPmod3 instance (n=4)")
+	fmt.Printf("  IPmod3 value %d, gadget Hamiltonian %v, server bound %.1f bits\n",
+		res.IPMod3Value, res.GadgetIsHamiltonian, res.ServerLowerBoundBits)
+	fmt.Printf("  network %d nodes diameter %d, embedding consistent %v\n",
+		res.NetworkNodes, res.NetworkDiameter, res.EmbeddedMatchesGadget)
+	fmt.Printf("  simulation cost %d bits <= bound %d bits: %v\n",
+		res.SimulationReport.ServerModelCost, res.SimulationReport.TheoremBound, res.SimulationReport.WithinTheoremBound)
+	fmt.Printf("  distributed lower bound %.1f rounds\n", res.DistributedLowerBound)
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,34 @@
+// Package qdc is the public facade of a reproduction of
+//
+//	Michael Elkin, Hartmut Klauck, Danupon Nanongkai, Gopal Pandurangan:
+//	"Can Quantum Communication Speed Up Distributed Computation?", PODC 2014.
+//
+// The paper proves that for fundamental global problems — minimum spanning
+// tree, minimum cut, shortest paths, and a long list of subgraph
+// verification problems — quantum communication and shared entanglement
+// cannot substantially speed up distributed CONGEST algorithms: the classical
+// Ω̃(√n + D) round lower bounds survive in the quantum setting. The proof
+// route is: nonlocal games → the Server model → gadget reductions to graph
+// problems → the Quantum Simulation Theorem → distributed lower bounds.
+//
+// Every stage of that route is implemented and machine-checked in the
+// internal packages:
+//
+//   - internal/graph      — graph substrate and reference algorithms
+//   - internal/congest    — the synchronous CONGEST(B) simulator
+//   - internal/quantum    — state-vector simulator (EPR, teleportation, Grover)
+//   - internal/comm       — two-party and Server-model communication complexity
+//   - internal/nonlocal   — XOR/AND games, CHSH, the Lemma 3.2 conversion
+//   - internal/gadgets    — the IPmod3→Ham and Gap-Eq→Gap-Ham reductions
+//   - internal/lbnetwork  — the Θ(log L)-diameter lower-bound network
+//   - internal/simulation — the executable Quantum Simulation Theorem
+//   - internal/dist/...   — distributed upper-bound algorithms (BFS, MST,
+//     verification, Set Disjointness)
+//   - internal/bounds     — the closed-form bounds of Figures 2 and 3
+//
+// This package exposes the experiment drivers that regenerate the paper's
+// figures and tables; cmd/qdcbench prints them, bench_test.go measures them,
+// and the examples/ directory demonstrates the API on the paper's headline
+// scenarios. See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-versus-measured results.
+package qdc

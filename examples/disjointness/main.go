@@ -1,0 +1,39 @@
+// Command disjointness reproduces Example 1.1 of the paper: distributed Set
+// Disjointness verification is the one global problem discussed in the paper
+// where quantum communication genuinely helps. Two nodes at distance D hold
+// b-bit sets; classically Θ(D + b/B) rounds are needed, while the
+// Grover-powered protocol needs O(√b·D) rounds, so quantum wins exactly when
+// the diameter is small compared with √b.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qdc"
+	"qdc/internal/dist/disjointness"
+)
+
+func main() {
+	const b = 4096 // input bits per player (b = √n in the paper's framing)
+
+	fmt.Println("=== Example 1.1: quantum vs classical distributed Set Disjointness ===")
+	fmt.Printf("input length b = %d, link bandwidth B = 1 bit/round\n\n", b)
+	fmt.Printf("%10s %18s %18s %10s\n", "distance D", "classical rounds", "quantum rounds", "winner")
+	for _, dist := range []int{2, 8, 32, 128, 512, 2048} {
+		cmp, err := qdc.RunDisjointnessComparison(b, 1, dist, 7)
+		if err != nil {
+			log.Fatalf("disjointness: %v", err)
+		}
+		winner := "classical"
+		if cmp.QuantumWins {
+			winner = "quantum"
+		}
+		fmt.Printf("%10d %18d %18d %10s\n", dist, cmp.ClassicalRounds, cmp.QuantumRounds, winner)
+	}
+	fmt.Printf("\npredicted crossover diameter: %d\n", disjointness.CrossoverDiameter(b, 1))
+	fmt.Println()
+	fmt.Println("This speed-up is exactly why the techniques of Das Sarma et al. (which")
+	fmt.Println("rest on the classical hardness of Disjointness) do not transfer to the")
+	fmt.Println("quantum setting, and why the paper develops the Server model instead.")
+}

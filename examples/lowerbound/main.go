@@ -1,0 +1,44 @@
+// Command lowerbound walks through the paper's whole proof pipeline
+// (Figure 1) on a concrete instance: an Inner-Product-mod-3 input is turned
+// into a Hamiltonian-cycle instance by the Section 7 gadgets, embedded into
+// the Θ(log L)-diameter lower-bound network of Section 8, and a fast
+// distributed algorithm is executed under the three-party simulation of the
+// Quantum Simulation Theorem, with its Carol/David communication measured
+// against the O(B·log L·T) bound.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qdc"
+)
+
+func main() {
+	res, err := qdc.RunProofPipeline(4, 64, 42)
+	if err != nil {
+		log.Fatalf("lowerbound: %v", err)
+	}
+
+	fmt.Println("=== The paper's proof pipeline, executed (Figure 1) ===")
+	fmt.Printf("IPmod3 input length:            n = %d bits\n", res.InputBits)
+	fmt.Printf("IPmod3(x, y):                   %d\n", res.IPMod3Value)
+	fmt.Printf("gadget graph (Section 7):       %d vertices, Hamiltonian = %v\n", res.GadgetNodes, res.GadgetIsHamiltonian)
+	fmt.Printf("  Lemma C.3 check:              Ham(G) == (IPmod3 == 0): %v\n",
+		res.GadgetIsHamiltonian == (res.IPMod3Value == 0))
+	fmt.Printf("server-model bound (Thm 6.1):   >= %.1f bits\n", res.ServerLowerBoundBits)
+	fmt.Printf("lower-bound network (Sec 8):    %d nodes, diameter %d\n", res.NetworkNodes, res.NetworkDiameter)
+	fmt.Printf("  Observation 8.1/D.3 check:    embedded M matches gadget: %v\n", res.EmbeddedMatchesGadget)
+	fmt.Println()
+	fmt.Println("Quantum Simulation Theorem accounting (Theorem 3.5), for the O(D)-round")
+	fmt.Println("degree-two check executed under the Carol/David/server partition:")
+	rep := res.SimulationReport
+	fmt.Printf("  rounds:                       %d (budget L/2-2 respected: %v)\n", rep.Rounds, rep.WithinRoundBudget)
+	fmt.Printf("  Carol bits / David bits:      %d / %d\n", rep.CarolBits, rep.DavidBits)
+	fmt.Printf("  server-model cost:            %d bits\n", rep.ServerModelCost)
+	fmt.Printf("  O(B log L * T) bound:         %d bits (respected: %v)\n", rep.TheoremBound, rep.WithinTheoremBound)
+	fmt.Println()
+	fmt.Printf("Resulting distributed lower bound for this network size and bandwidth:\n")
+	fmt.Printf("  Omega(sqrt(n/(B log n))) = %.1f rounds for Ham/ST verification,\n", res.DistributedLowerBound)
+	fmt.Println("  valid against any quantum algorithm with shared entanglement.")
+}

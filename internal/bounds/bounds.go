@@ -1,0 +1,211 @@
+// Package bounds evaluates the closed-form lower and upper bounds that the
+// paper's Figure 2 (the bounds table) and Figure 3 (MST time versus weight
+// aspect ratio) report, and assembles them into the rows/series regenerated
+// by cmd/qdcbench and the benchmark harness.
+package bounds
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"qdc/internal/comm"
+	"qdc/internal/gadgets"
+)
+
+// ErrBadParams reports non-positive parameters.
+var ErrBadParams = errors.New("bounds: parameters must be positive")
+
+// log2 returns log₂(x) clamped below at 1 so that the Θ(√(n/(B log n)))
+// expressions stay finite for tiny n.
+func log2(x float64) float64 {
+	if x < 2 {
+		return 1
+	}
+	return math.Log2(x)
+}
+
+// VerificationLowerBound returns the Ω(√(n/(B log n))) quantum round lower
+// bound of Theorem 3.6 / Corollary 3.7 for an n-node network with bandwidth B.
+func VerificationLowerBound(n, bandwidth float64) float64 {
+	if n <= 0 || bandwidth <= 0 {
+		return 0
+	}
+	return math.Sqrt(n / (bandwidth * log2(n)))
+}
+
+// OptimizationLowerBound returns the Ω(min(W/α, √n)/√(B log n)) quantum
+// round lower bound of Theorem 3.8 / Corollary 3.9 for α-approximation with
+// weight aspect ratio W.
+func OptimizationLowerBound(n, bandwidth, aspectRatio, alpha float64) float64 {
+	if n <= 0 || bandwidth <= 0 || alpha <= 0 || aspectRatio <= 0 {
+		return 0
+	}
+	return math.Min(aspectRatio/alpha, math.Sqrt(n)) / math.Sqrt(bandwidth*log2(n))
+}
+
+// VerificationUpperBound returns the Õ(√n + D) classical upper bound of
+// Das Sarma et al. for the verification problems (the benchmark compares the
+// measured rounds of our implementations against it).
+func VerificationUpperBound(n, diameter float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return math.Sqrt(n)*log2(n) + diameter
+}
+
+// MSTUpperBound returns the deterministic upper bound
+// O(min(W/α, √n) + D) obtained by combining Elkin's O(W/α)-time
+// α-approximation with the Kutten–Peleg / GKP exact algorithm (Figure 3's
+// dashed curve).
+func MSTUpperBound(n, diameter, aspectRatio, alpha float64) float64 {
+	if n <= 0 || alpha <= 0 || aspectRatio <= 0 {
+		return 0
+	}
+	return math.Min(aspectRatio/alpha, math.Sqrt(n)) + diameter
+}
+
+// Figure3Crossovers returns the two crossover aspect ratios marked in
+// Figure 3: W = Θ(α√n), where the lower bound curve flattens, and
+// W = Θ(αn), beyond which even the trivial collect-everything algorithm is
+// dominated by the √n term.
+func Figure3Crossovers(n, alpha float64) (sqrtCross, linearCross float64) {
+	return alpha * math.Sqrt(n), alpha * n
+}
+
+// Figure2Row is one row of the Figure 2 table.
+type Figure2Row struct {
+	// Problem is the problem (group) name.
+	Problem string
+	// Setting distinguishes the distributed-network rows from the
+	// communication-complexity rows, as in the figure.
+	Setting string
+	// Previous is the best previously known bound quoted by the paper.
+	Previous string
+	// New is the bound proved by the paper.
+	New string
+	// PreviousValue and NewValue evaluate the bounds at the requested
+	// parameters (rounds for the distributed rows, bits for the
+	// communication rows).
+	PreviousValue, NewValue float64
+}
+
+// Figure2Table evaluates the Figure 2 table at network size n, bandwidth B
+// and (for the optimization row) aspect ratio W and approximation factor α.
+func Figure2Table(n int, bandwidth int, aspectRatio, alpha float64) ([]Figure2Row, error) {
+	if n <= 0 || bandwidth <= 0 || aspectRatio <= 0 || alpha <= 0 {
+		return nil, fmt.Errorf("%w: n=%d B=%d W=%g α=%g", ErrBadParams, n, bandwidth, aspectRatio, alpha)
+	}
+	fn, fb := float64(n), float64(bandwidth)
+	verification := VerificationLowerBound(fn, fb)
+	optimization := OptimizationLowerBound(fn, fb, aspectRatio, alpha)
+	rows := []Figure2Row{
+		{
+			Problem:       "Ham, ST, MST verification",
+			Setting:       "B-model distributed network",
+			Previous:      "Ω(√(n/(B log n))) deterministic, classical",
+			New:           "Ω(√(n/(B log n))) two-sided error, quantum + entanglement",
+			PreviousValue: verification,
+			NewValue:      verification,
+		},
+		{
+			Problem:       "Conn and other verification problems",
+			Setting:       "B-model distributed network",
+			Previous:      "Ω(√(n/(B log n))) two-sided error, classical",
+			New:           "Ω(√(n/(B log n))) two-sided error, quantum + entanglement",
+			PreviousValue: verification,
+			NewValue:      verification,
+		},
+		{
+			Problem:       "α-approx MST and other optimization problems",
+			Setting:       "B-model distributed network",
+			Previous:      "Ω(√(n/(B log n))) Monte Carlo, classical, W = Ω(αn)",
+			New:           "Ω(min(√n, W/α)/√(B log n)) Monte Carlo, quantum + entanglement",
+			PreviousValue: verification,
+			NewValue:      optimization,
+		},
+		{
+			Problem:       "Ham, ST and other verification problems",
+			Setting:       "communication complexity",
+			Previous:      "Ω(n) one-sided error, classical",
+			New:           "Ω(n) two-sided error, quantum + entanglement",
+			PreviousValue: float64(n) / 4,
+			NewValue:      comm.IPMod3ServerLowerBound(n / gadgets.NodesPerIPGadget),
+		},
+		{
+			Problem:       "Gap-Ham, Gap-ST, Gap-Conn (Ω(n) gap)",
+			Setting:       "communication complexity",
+			Previous:      "unknown",
+			New:           "Ω(n) one-sided error, quantum + entanglement",
+			PreviousValue: 0,
+			NewValue:      comm.GapEqualityServerLowerBound(n/(2*gadgets.NodesPerEqPosition), 0.1),
+		},
+	}
+	return rows, nil
+}
+
+// Figure3Point is one point of the Figure 3 curves.
+type Figure3Point struct {
+	// W is the weight aspect ratio.
+	W float64
+	// LowerBound is the paper's quantum lower bound at this W.
+	LowerBound float64
+	// UpperBound is the deterministic upper bound at this W.
+	UpperBound float64
+}
+
+// Figure3Curve evaluates the Figure 3 curves at the given aspect ratios.
+func Figure3Curve(n int, bandwidth int, diameter, alpha float64, ws []float64) ([]Figure3Point, error) {
+	if n <= 0 || bandwidth <= 0 || alpha <= 0 {
+		return nil, fmt.Errorf("%w: n=%d B=%d α=%g", ErrBadParams, n, bandwidth, alpha)
+	}
+	out := make([]Figure3Point, 0, len(ws))
+	for _, w := range ws {
+		out = append(out, Figure3Point{
+			W:          w,
+			LowerBound: OptimizationLowerBound(float64(n), float64(bandwidth), w, alpha),
+			UpperBound: MSTUpperBound(float64(n), diameter, w, alpha),
+		})
+	}
+	return out, nil
+}
+
+// ServerModelRow summarises a server-model hardness result (Theorem 3.4,
+// Theorem 6.1, Corollary 3.10) next to the cost of the best explicit
+// protocol in this repository.
+type ServerModelRow struct {
+	Problem        string
+	LowerBound     float64
+	TrivialCost    float64
+	BestKnownUpper string
+}
+
+// ServerModelTable evaluates the server-model bounds at input length n.
+func ServerModelTable(n int) []ServerModelRow {
+	return []ServerModelRow{
+		{
+			Problem:        fmt.Sprintf("IPmod3_%d (two-sided error)", n),
+			LowerBound:     comm.IPMod3ServerLowerBound(n),
+			TrivialCost:    float64(n + 1),
+			BestKnownUpper: "O(n) send-all",
+		},
+		{
+			Problem:        fmt.Sprintf("(βn)-Eq_%d (one-sided error)", n),
+			LowerBound:     comm.GapEqualityServerLowerBound(n, 0.1),
+			TrivialCost:    float64(n + 1),
+			BestKnownUpper: "O(n) send-all",
+		},
+		{
+			Problem:        fmt.Sprintf("Ham_%d via IPmod3 reduction", n),
+			LowerBound:     comm.IPMod3ServerLowerBound(n / gadgets.NodesPerIPGadget),
+			TrivialCost:    float64(n + 1),
+			BestKnownUpper: "O(n) send-all",
+		},
+		{
+			Problem:        fmt.Sprintf("Disj_%d (quantum two-party)", n),
+			LowerBound:     math.Sqrt(float64(n)) / 4,
+			TrivialCost:    comm.DisjointnessQuantumUpperBound(n),
+			BestKnownUpper: "O(√n) Aaronson–Ambainis",
+		},
+	}
+}

@@ -1,0 +1,146 @@
+package bounds
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestVerificationLowerBoundShape(t *testing.T) {
+	// Grows like √(n / log n): quadrupling n should roughly double it.
+	b1 := VerificationLowerBound(1e4, 32)
+	b2 := VerificationLowerBound(4e4, 32)
+	if b1 <= 0 || b2/b1 < 1.7 || b2/b1 > 2.1 {
+		t.Fatalf("bound does not scale like √n: %g -> %g", b1, b2)
+	}
+	// Decreases with B.
+	if VerificationLowerBound(1e4, 128) >= VerificationLowerBound(1e4, 32) {
+		t.Fatal("bound should decrease with bandwidth")
+	}
+	if VerificationLowerBound(0, 32) != 0 || VerificationLowerBound(100, 0) != 0 {
+		t.Fatal("degenerate inputs should give 0")
+	}
+}
+
+func TestOptimizationLowerBoundRegimes(t *testing.T) {
+	n, b := 1e6, 32.0
+	alpha := 2.0
+	// Small W: the W/α term dominates and the bound grows linearly in W.
+	small := OptimizationLowerBound(n, b, 100, alpha)
+	smaller := OptimizationLowerBound(n, b, 50, alpha)
+	if math.Abs(small/smaller-2) > 1e-9 {
+		t.Fatalf("small-W regime not linear in W: %g vs %g", small, smaller)
+	}
+	// Large W: saturates at √n/√(B log n).
+	sat1 := OptimizationLowerBound(n, b, 1e7, alpha)
+	sat2 := OptimizationLowerBound(n, b, 1e9, alpha)
+	if math.Abs(sat1-sat2) > 1e-9 {
+		t.Fatal("large-W regime should saturate")
+	}
+	want := VerificationLowerBound(n, b)
+	if math.Abs(sat1-want) > 1e-9 {
+		t.Fatalf("saturation level %g, want %g", sat1, want)
+	}
+	if OptimizationLowerBound(n, b, -1, alpha) != 0 {
+		t.Fatal("degenerate W should give 0")
+	}
+}
+
+func TestUpperBounds(t *testing.T) {
+	if MSTUpperBound(10000, 10, 1e9, 2) != 100+10 {
+		t.Fatalf("MST upper bound saturation wrong: %g", MSTUpperBound(10000, 10, 1e9, 2))
+	}
+	if MSTUpperBound(10000, 10, 40, 2) != 20+10 {
+		t.Fatalf("MST upper bound small-W regime wrong: %g", MSTUpperBound(10000, 10, 40, 2))
+	}
+	if MSTUpperBound(0, 1, 1, 1) != 0 {
+		t.Fatal("degenerate inputs should give 0")
+	}
+	if VerificationUpperBound(1024, 7) <= math.Sqrt(1024) {
+		t.Fatal("verification upper bound should include the log factor and D")
+	}
+	if VerificationUpperBound(0, 7) != 0 {
+		t.Fatal("degenerate n should give 0")
+	}
+	sq, lin := Figure3Crossovers(10000, 2)
+	if sq != 200 || lin != 20000 {
+		t.Fatalf("crossovers = %g, %g", sq, lin)
+	}
+}
+
+func TestFigure2Table(t *testing.T) {
+	rows, err := Figure2Table(1_000_000, 32, 1e6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	for _, row := range rows {
+		if row.Problem == "" || row.New == "" || row.Setting == "" {
+			t.Fatalf("incomplete row: %+v", row)
+		}
+		if row.NewValue < 0 {
+			t.Fatalf("negative bound: %+v", row)
+		}
+	}
+	// The verification rows of the distributed section agree with the formula.
+	if rows[0].NewValue != VerificationLowerBound(1e6, 32) {
+		t.Fatal("row 0 value mismatch")
+	}
+	// The gap row has no previous bound.
+	if rows[4].Previous != "unknown" || rows[4].PreviousValue != 0 {
+		t.Fatal("gap row should have no previous bound")
+	}
+	if _, err := Figure2Table(0, 32, 1, 1); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFigure3Curve(t *testing.T) {
+	ws := []float64{1, 10, 100, 1000, 10000, 100000}
+	pts, err := Figure3Curve(10000, 32, 12, 2, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(ws) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Lower bound is below the upper bound everywhere and both are
+	// non-decreasing in W.
+	for i, p := range pts {
+		if p.LowerBound > p.UpperBound {
+			t.Fatalf("point %d: lower %g above upper %g", i, p.LowerBound, p.UpperBound)
+		}
+		if i > 0 && (p.LowerBound < pts[i-1].LowerBound || p.UpperBound < pts[i-1].UpperBound) {
+			t.Fatalf("curves should be non-decreasing in W")
+		}
+	}
+	// Saturation: the last two points have identical bounds (W past α√n).
+	last, prev := pts[len(pts)-1], pts[len(pts)-2]
+	if last.LowerBound != prev.LowerBound || last.UpperBound != prev.UpperBound {
+		t.Fatal("curves should saturate for large W")
+	}
+	if _, err := Figure3Curve(100, 0, 1, 1, ws); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestServerModelTable(t *testing.T) {
+	rows := ServerModelTable(2400)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.Problem == "" || row.BestKnownUpper == "" {
+			t.Fatalf("incomplete row %+v", row)
+		}
+		if row.LowerBound < 0 || row.LowerBound > row.TrivialCost {
+			t.Fatalf("lower bound %g inconsistent with trivial cost %g (%s)", row.LowerBound, row.TrivialCost, row.Problem)
+		}
+	}
+	// The IPmod3 row grows linearly with n.
+	if ServerModelTable(4800)[0].LowerBound <= rows[0].LowerBound {
+		t.Fatal("IPmod3 bound should grow with n")
+	}
+}

@@ -1,0 +1,189 @@
+// Package comm implements the communication-complexity substrate of the
+// paper: the standard two-party model (Alice and Bob) and the Server model
+// of Definition 3.1 (Carol, David, and a server that can talk for free but
+// receives no input).
+//
+// The package provides
+//
+//   - the boolean problems the paper works with (Equality, Gap Equality,
+//     Set Disjointness, Inner Product mod 3),
+//   - explicit protocols for them with exact bit accounting under the two
+//     cost measures (two-party cost counts everything Alice and Bob exchange;
+//     server-model cost counts only the bits *sent by* Carol and David),
+//   - the classical simulation argument of Section 3.1 showing that the
+//     Server model and the two-party model are equivalent classically, and
+//   - the lower-bound calculators used by Theorems 3.4, 3.6, 3.8 and
+//     Corollary 3.10 (fooling sets, the Gilbert–Varshamov bound, the
+//     γ₂-norm/approximate-degree bound for IPmod3, and the gadget
+//     reductions' transfer of those bounds to Ham and ST).
+package comm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Party identifies a participant in a protocol.
+type Party int
+
+// Parties of the two models. Alice/Bob belong to the two-party model,
+// Carol/David/Server to the Server model.
+const (
+	Alice Party = iota + 1
+	Bob
+	Carol
+	David
+	Server
+)
+
+// String implements fmt.Stringer.
+func (p Party) String() string {
+	switch p {
+	case Alice:
+		return "Alice"
+	case Bob:
+		return "Bob"
+	case Carol:
+		return "Carol"
+	case David:
+		return "David"
+	case Server:
+		return "Server"
+	default:
+		return fmt.Sprintf("Party(%d)", int(p))
+	}
+}
+
+// Model identifies the communication model a protocol runs in.
+type Model int
+
+// Supported models.
+const (
+	// ModelTwoParty is the standard two-party model (Alice and Bob).
+	ModelTwoParty Model = iota + 1
+	// ModelServer is the Server model of Definition 3.1.
+	ModelServer
+)
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	switch m {
+	case ModelTwoParty:
+		return "two-party"
+	case ModelServer:
+		return "server"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// MessageRecord is one message of a transcript.
+type MessageRecord struct {
+	From, To Party
+	Bits     int
+	Label    string
+}
+
+// Transcript records every message sent during a protocol run and computes
+// the cost under each model's accounting rule.
+type Transcript struct {
+	records []MessageRecord
+}
+
+// NewTranscript returns an empty transcript.
+func NewTranscript() *Transcript { return &Transcript{} }
+
+// Record appends a message of the given size. Negative sizes are clamped to
+// zero.
+func (t *Transcript) Record(from, to Party, bits int, label string) {
+	if bits < 0 {
+		bits = 0
+	}
+	t.records = append(t.records, MessageRecord{From: from, To: to, Bits: bits, Label: label})
+}
+
+// Records returns a copy of the recorded messages in order.
+func (t *Transcript) Records() []MessageRecord {
+	out := make([]MessageRecord, len(t.records))
+	copy(out, t.records)
+	return out
+}
+
+// TotalBits returns the total number of bits of all messages regardless of
+// sender (informational; neither model charges for server messages).
+func (t *Transcript) TotalBits() int {
+	sum := 0
+	for _, r := range t.records {
+		sum += r.Bits
+	}
+	return sum
+}
+
+// TwoPartyCost returns the two-party communication cost: all bits exchanged
+// between Alice and Bob.
+func (t *Transcript) TwoPartyCost() int {
+	sum := 0
+	for _, r := range t.records {
+		if (r.From == Alice || r.From == Bob) && (r.To == Alice || r.To == Bob) {
+			sum += r.Bits
+		}
+	}
+	return sum
+}
+
+// ServerCost returns the Server-model communication cost of Definition 3.1:
+// only bits *sent by* Carol or David are counted; everything the server
+// sends is free.
+func (t *Transcript) ServerCost() int {
+	sum := 0
+	for _, r := range t.records {
+		if r.From == Carol || r.From == David {
+			sum += r.Bits
+		}
+	}
+	return sum
+}
+
+// BitsSentBy returns the number of bits sent by the given party.
+func (t *Transcript) BitsSentBy(p Party) int {
+	sum := 0
+	for _, r := range t.records {
+		if r.From == p {
+			sum += r.Bits
+		}
+	}
+	return sum
+}
+
+// Errors shared by problems and protocols.
+var (
+	// ErrBadInput reports inputs that are malformed (wrong length, non-bits).
+	ErrBadInput = errors.New("comm: malformed input")
+	// ErrPromiseViolated reports inputs outside a promise problem's promise.
+	ErrPromiseViolated = errors.New("comm: input violates the problem's promise")
+)
+
+// Problem is a two-input boolean function, possibly with a promise.
+type Problem interface {
+	// Name returns a short human-readable name.
+	Name() string
+	// InputLen returns the length of each player's input string.
+	InputLen() int
+	// Validate reports whether (x, y) is a legal input (length, alphabet,
+	// and promise).
+	Validate(x, y []int) error
+	// Evaluate returns f(x, y) in {0, 1} for a legal input.
+	Evaluate(x, y []int) (int, error)
+}
+
+func checkBitString(n int, x, y []int) error {
+	if len(x) != n || len(y) != n || n == 0 {
+		return fmt.Errorf("%w: want two strings of length %d, got %d and %d", ErrBadInput, n, len(x), len(y))
+	}
+	for i := 0; i < n; i++ {
+		if x[i] != 0 && x[i] != 1 || y[i] != 0 && y[i] != 1 {
+			return fmt.Errorf("%w: non-bit symbol at position %d", ErrBadInput, i)
+		}
+	}
+	return nil
+}

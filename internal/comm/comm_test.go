@@ -1,0 +1,479 @@
+package comm
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func bits(s string) []int {
+	out := make([]int, len(s))
+	for i, c := range s {
+		if c == '1' {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+func TestTranscriptCosts(t *testing.T) {
+	tr := NewTranscript()
+	tr.Record(Alice, Bob, 10, "a")
+	tr.Record(Bob, Alice, 1, "b")
+	tr.Record(Carol, Server, 7, "c")
+	tr.Record(Server, David, 100, "free")
+	tr.Record(David, Server, 3, "d")
+	tr.Record(Alice, Bob, -5, "clamped")
+
+	if got := tr.TwoPartyCost(); got != 11 {
+		t.Fatalf("TwoPartyCost = %d, want 11", got)
+	}
+	if got := tr.ServerCost(); got != 10 {
+		t.Fatalf("ServerCost = %d, want 10", got)
+	}
+	if got := tr.TotalBits(); got != 121 {
+		t.Fatalf("TotalBits = %d, want 121", got)
+	}
+	if got := tr.BitsSentBy(Server); got != 100 {
+		t.Fatalf("BitsSentBy(Server) = %d, want 100", got)
+	}
+	if len(tr.Records()) != 6 {
+		t.Fatalf("records = %d, want 6", len(tr.Records()))
+	}
+}
+
+func TestPartyAndModelStrings(t *testing.T) {
+	if Alice.String() != "Alice" || Server.String() != "Server" || Party(99).String() == "" {
+		t.Fatal("Party.String broken")
+	}
+	if ModelServer.String() != "server" || ModelTwoParty.String() != "two-party" || Model(9).String() == "" {
+		t.Fatal("Model.String broken")
+	}
+}
+
+func TestProblems(t *testing.T) {
+	tests := []struct {
+		p    Problem
+		x, y string
+		want int
+	}{
+		{NewEquality(4), "1010", "1010", 1},
+		{NewEquality(4), "1010", "1011", 0},
+		{NewDisjointness(4), "1010", "0101", 1},
+		{NewDisjointness(4), "1010", "0110", 0},
+		{NewInnerProductMod3(3), "111", "111", 1},
+		{NewInnerProductMod3(3), "110", "110", 0},
+		{NewInnerProductMod3(6), "111111", "111111", 1},
+		{NewGapEquality(4, 2), "1010", "1010", 1},
+		{NewGapEquality(4, 2), "1010", "0101", 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.p.Name(), func(t *testing.T) {
+			got, err := tc.p.Evaluate(bits(tc.x), bits(tc.y))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("%s(%s,%s) = %d, want %d", tc.p.Name(), tc.x, tc.y, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestProblemValidation(t *testing.T) {
+	eq := NewEquality(3)
+	if err := eq.Validate(bits("101"), bits("10")); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("err = %v, want bad input", err)
+	}
+	if err := eq.Validate([]int{0, 1, 2}, []int{0, 1, 1}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("err = %v, want bad input", err)
+	}
+	gap := NewGapEquality(4, 2)
+	if err := gap.Validate(bits("1010"), bits("1011")); !errors.Is(err, ErrPromiseViolated) {
+		t.Fatalf("err = %v, want promise violated", err)
+	}
+	if err := gap.Validate(bits("1010"), bits("0101")); err != nil {
+		t.Fatalf("distance 4 > 2 should satisfy the promise, err = %v", err)
+	}
+	if _, err := eq.Evaluate(bits("1"), bits("1")); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestProblemNamesAndLens(t *testing.T) {
+	if NewEquality(8).Name() != "Eq_8" || NewEquality(8).InputLen() != 8 {
+		t.Fatal("Equality metadata wrong")
+	}
+	if NewGapEquality(8, 2).Name() != "2-Eq_8" {
+		t.Fatal("GapEquality name wrong")
+	}
+	if NewDisjointness(5).InputLen() != 5 || NewInnerProductMod3(5).InputLen() != 5 {
+		t.Fatal("InputLen wrong")
+	}
+}
+
+func TestSendAllTwoParty(t *testing.T) {
+	p := SendAllTwoParty{P: NewEquality(6)}
+	out, tr, err := p.Run(bits("101010"), bits("101010"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != 1 {
+		t.Fatalf("out = %d, want 1", out)
+	}
+	if tr.TwoPartyCost() != 7 {
+		t.Fatalf("cost = %d, want 7", tr.TwoPartyCost())
+	}
+	if p.Model() != ModelTwoParty || p.Problem().Name() != "Eq_6" || p.Name() == "" {
+		t.Fatal("metadata wrong")
+	}
+	if _, _, err := p.Run(bits("1"), bits("101010"), nil); err == nil {
+		t.Fatal("bad input should fail")
+	}
+}
+
+func TestSendAllServer(t *testing.T) {
+	p := SendAllServer{P: NewDisjointness(5)}
+	out, tr, err := p.Run(bits("10001"), bits("01010"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != 1 {
+		t.Fatalf("out = %d, want 1", out)
+	}
+	// Carol sends 5 bits, David 1 bit; server relays are free.
+	if tr.ServerCost() != 6 {
+		t.Fatalf("server cost = %d, want 6", tr.ServerCost())
+	}
+	if tr.TotalBits() <= tr.ServerCost() {
+		t.Fatal("server relays should appear in TotalBits but not in ServerCost")
+	}
+	if p.Model() != ModelServer {
+		t.Fatal("model wrong")
+	}
+	if _, _, err := p.Run(bits("1"), bits("0"), nil); err == nil {
+		t.Fatal("bad input should fail")
+	}
+}
+
+func TestFingerprintEqualityCorrectOnEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := FingerprintEquality{N: 128}
+	x := make([]int, 128)
+	for i := range x {
+		x[i] = rng.Intn(2)
+	}
+	for trial := 0; trial < 20; trial++ {
+		out, tr, err := p.Run(x, x, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != 1 {
+			t.Fatal("fingerprinting rejected equal inputs (one-sided error violated)")
+		}
+		if tr.TwoPartyCost() != 65 {
+			t.Fatalf("cost = %d, want 65", tr.TwoPartyCost())
+		}
+	}
+}
+
+func TestFingerprintEqualityDetectsDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := FingerprintEquality{N: 64}
+	x := make([]int, 64)
+	y := make([]int, 64)
+	for i := range x {
+		x[i] = rng.Intn(2)
+		y[i] = x[i]
+	}
+	y[10] ^= 1
+	wrong := 0
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		out, _, err := p.Run(x, y, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out == 1 {
+			wrong++
+		}
+	}
+	if wrong > 0 {
+		// Error probability is ~ n/2^61 per trial; any failure indicates a bug.
+		t.Fatalf("fingerprinting accepted unequal inputs %d/%d times", wrong, trials)
+	}
+	if p.Model() != ModelTwoParty || p.Problem().InputLen() != 64 {
+		t.Fatal("metadata wrong")
+	}
+	if _, _, err := p.Run(bits("10"), bits("10"), rng); err == nil {
+		t.Fatal("length mismatch with declared N should fail")
+	}
+}
+
+func TestFingerprintCheaperThanTrivial(t *testing.T) {
+	n := 4096
+	x := make([]int, n)
+	rng := rand.New(rand.NewSource(5))
+	fp := FingerprintEquality{N: n}
+	triv := SendAllTwoParty{P: NewEquality(n)}
+	_, trFP, err := fp.Run(x, x, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, trTriv, err := triv.Run(x, x, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trFP.TwoPartyCost() >= trTriv.TwoPartyCost() {
+		t.Fatalf("fingerprint cost %d should beat trivial cost %d", trFP.TwoPartyCost(), trTriv.TwoPartyCost())
+	}
+}
+
+func TestQuantumDisjointnessCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := QuantumDisjointness{N: 64}
+	// Disjoint instance.
+	x := make([]int, 64)
+	y := make([]int, 64)
+	for i := 0; i < 64; i += 2 {
+		x[i] = 1
+		y[i+1] = 1
+	}
+	out, tr, err := p.Run(x, y, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != 1 {
+		t.Fatalf("disjoint instance: out = %d, want 1", out)
+	}
+	if tr.TwoPartyCost() == 0 {
+		t.Fatal("protocol should have non-zero cost")
+	}
+	// Intersecting instance: Grover succeeds with high probability; repeat a
+	// few runs and require at least one detection (one-sided behaviour).
+	y[0] = 1 // x[0] = y[0] = 1
+	detected := false
+	for trial := 0; trial < 10; trial++ {
+		out, _, err = p.Run(x, y, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out == 0 {
+			detected = true
+			break
+		}
+	}
+	if !detected {
+		t.Fatal("intersecting instance never detected across 10 runs")
+	}
+}
+
+func TestQuantumDisjointnessCostScaling(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cost := func(n int) int {
+		p := QuantumDisjointness{N: n}
+		x := make([]int, n)
+		y := make([]int, n)
+		_, tr, err := p.Run(x, y, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.TwoPartyCost()
+	}
+	c64, c1024 := cost(64), cost(1024)
+	classical := 1024
+	if c1024 >= classical {
+		t.Fatalf("quantum cost %d should beat classical %d at n=1024", c1024, classical)
+	}
+	// Cost should grow roughly like √n·log n: ratio for 16x the size should
+	// be far below 16.
+	if ratio := float64(c1024) / float64(c64); ratio > 8 {
+		t.Fatalf("cost ratio %g too steep for a √n·log n protocol", ratio)
+	}
+	if got := (QuantumDisjointness{N: 64}).QueryBits(); got != 2*(6+1) {
+		t.Fatalf("QueryBits = %d", got)
+	}
+}
+
+func TestServerFromTwoParty(t *testing.T) {
+	inner := SendAllTwoParty{P: NewEquality(8)}
+	wrapped := ServerFromTwoParty{Inner: inner}
+	x := bits("10110011")
+	out, tr, err := wrapped.Run(x, x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != 1 {
+		t.Fatalf("out = %d, want 1", out)
+	}
+	_, innerTr, err := inner.Run(x, x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.ServerCost() != innerTr.TwoPartyCost() {
+		t.Fatalf("server cost %d != two-party cost %d", tr.ServerCost(), innerTr.TwoPartyCost())
+	}
+	if wrapped.Model() != ModelServer || wrapped.Problem().Name() != "Eq_8" || wrapped.Name() == "" {
+		t.Fatal("metadata wrong")
+	}
+	// Wrapping a server protocol is rejected.
+	bad := ServerFromTwoParty{Inner: SendAllServer{P: NewEquality(8)}}
+	if _, _, err := bad.Run(x, x, nil); err == nil {
+		t.Fatal("wrapping a non-two-party protocol should fail")
+	}
+}
+
+func TestTwoPartyFromServer(t *testing.T) {
+	inner := SendAllServer{P: NewDisjointness(8)}
+	sim := TwoPartyFromServer{Inner: inner}
+	x, y := bits("10101010"), bits("01010101")
+	out, tr, err := sim.Run(x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != 1 {
+		t.Fatalf("out = %d, want 1", out)
+	}
+	_, innerTr, err := inner.Run(x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Section 3.1 argument: two-party simulation cost equals the
+	// server-model cost (server messages are simulated for free).
+	if tr.TwoPartyCost() != innerTr.ServerCost() {
+		t.Fatalf("simulated cost %d != server cost %d", tr.TwoPartyCost(), innerTr.ServerCost())
+	}
+	if sim.Model() != ModelTwoParty || sim.Name() == "" || sim.Problem().Name() != "Disj_8" {
+		t.Fatal("metadata wrong")
+	}
+	bad := TwoPartyFromServer{Inner: SendAllTwoParty{P: NewEquality(8)}}
+	if _, _, err := bad.Run(x, x, nil); err == nil {
+		t.Fatal("wrapping a non-server protocol should fail")
+	}
+}
+
+func TestBinaryEntropy(t *testing.T) {
+	if BinaryEntropy(0) != 0 || BinaryEntropy(1) != 0 {
+		t.Fatal("H(0)=H(1)=0 expected")
+	}
+	if math.Abs(BinaryEntropy(0.5)-1) > 1e-12 {
+		t.Fatalf("H(0.5) = %g, want 1", BinaryEntropy(0.5))
+	}
+	if math.Abs(BinaryEntropy(0.25)-0.811278) > 1e-5 {
+		t.Fatalf("H(0.25) = %g", BinaryEntropy(0.25))
+	}
+}
+
+func TestLowerBoundFormulas(t *testing.T) {
+	// IPmod3 bound is Ω(n): linear growth.
+	if IPMod3ServerLowerBound(3200) <= IPMod3ServerLowerBound(1600) {
+		t.Fatal("IPmod3 bound should grow with n")
+	}
+	if IPMod3ServerLowerBound(8) != 0 {
+		t.Fatal("tiny n should clamp to 0")
+	}
+	if got := IPMod3ServerLowerBound(3200); math.Abs(got-99) > 1e-9 {
+		t.Fatalf("IPMod3ServerLowerBound(3200) = %g, want 99", got)
+	}
+	// Gap equality bound is Ω(n) for fixed beta < 1/4.
+	b1 := GapEqualityServerLowerBound(1000, 0.1)
+	b2 := GapEqualityServerLowerBound(2000, 0.1)
+	if b1 <= 0 || b2 < 1.8*b1 {
+		t.Fatalf("GapEq bound not linear: %g, %g", b1, b2)
+	}
+	if GapEqualityServerLowerBound(1000, 0.3) != 0 {
+		t.Fatal("beta >= 1/4 is outside the construction's range")
+	}
+	if GapEqualityServerLowerBound(0, 0.1) != 0 {
+		t.Fatal("n=0 should give 0")
+	}
+	// Fooling set bound formula.
+	if got := FoolingSetQuantumLowerBound(100); math.Abs(got-24.5) > 1e-9 {
+		t.Fatalf("fooling bound = %g, want 24.5", got)
+	}
+	if FoolingSetQuantumLowerBound(1) != 0 {
+		t.Fatal("small fooling sets clamp to 0")
+	}
+	// Disjointness bounds.
+	if DisjointnessClassicalLowerBound(100) != 25 || DisjointnessClassicalLowerBound(-1) != 0 {
+		t.Fatal("Disj classical bound wrong")
+	}
+	if math.Abs(DisjointnessQuantumUpperBound(100)-10) > 1e-9 || DisjointnessQuantumUpperBound(0) != 0 {
+		t.Fatal("Disj quantum bound wrong")
+	}
+	if EqualityRandomizedUpperBound(1024) != 10 || EqualityRandomizedUpperBound(1) != 1 {
+		t.Fatal("Eq randomized upper bound wrong")
+	}
+}
+
+// Property: the trivial protocols always agree with direct evaluation, and
+// protocol costs respect the documented accounting.
+func TestQuickTrivialProtocolsCorrect(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(64)
+		x := make([]int, n)
+		y := make([]int, n)
+		for i := range x {
+			x[i] = rng.Intn(2)
+			y[i] = rng.Intn(2)
+		}
+		problems := []Problem{NewEquality(n), NewDisjointness(n), NewInnerProductMod3(n)}
+		for _, prob := range problems {
+			want, err := prob.Evaluate(x, y)
+			if err != nil {
+				return false
+			}
+			out2, tr2, err := SendAllTwoParty{P: prob}.Run(x, y, rng)
+			if err != nil || out2 != want || tr2.TwoPartyCost() != n+1 {
+				return false
+			}
+			outS, trS, err := SendAllServer{P: prob}.Run(x, y, rng)
+			if err != nil || outS != want || trS.ServerCost() != n+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the server-model cost of the lifted protocol equals the
+// two-party cost of the original, and vice versa for the simulation — the
+// classical equivalence of Section 3.1.
+func TestQuickModelEquivalenceCosts(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(32)
+		x := make([]int, n)
+		y := make([]int, n)
+		for i := range x {
+			x[i] = rng.Intn(2)
+			y[i] = rng.Intn(2)
+		}
+		two := SendAllTwoParty{P: NewDisjointness(n)}
+		srv := ServerFromTwoParty{Inner: two}
+		back := TwoPartyFromServer{Inner: srv}
+		_, trTwo, err := two.Run(x, y, rng)
+		if err != nil {
+			return false
+		}
+		_, trSrv, err := srv.Run(x, y, rng)
+		if err != nil {
+			return false
+		}
+		_, trBack, err := back.Run(x, y, rng)
+		if err != nil {
+			return false
+		}
+		return trSrv.ServerCost() == trTwo.TwoPartyCost() &&
+			trBack.TwoPartyCost() == trSrv.ServerCost()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

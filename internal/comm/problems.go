@@ -1,0 +1,155 @@
+package comm
+
+import "fmt"
+
+// Equality is the Eq_n problem: f(x, y) = 1 iff x = y.
+type Equality struct {
+	// N is the input length in bits.
+	N int
+}
+
+// NewEquality returns the Eq_n problem.
+func NewEquality(n int) Equality { return Equality{N: n} }
+
+// Name implements Problem.
+func (p Equality) Name() string { return fmt.Sprintf("Eq_%d", p.N) }
+
+// InputLen implements Problem.
+func (p Equality) InputLen() int { return p.N }
+
+// Validate implements Problem.
+func (p Equality) Validate(x, y []int) error { return checkBitString(p.N, x, y) }
+
+// Evaluate implements Problem.
+func (p Equality) Evaluate(x, y []int) (int, error) {
+	if err := p.Validate(x, y); err != nil {
+		return 0, err
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			return 0, nil
+		}
+	}
+	return 1, nil
+}
+
+// GapEquality is the δ-Eq_n promise problem of Section 6: the players are
+// promised that either x = y or the Hamming distance Δ(x, y) exceeds Delta;
+// they must output 1 iff x = y.
+type GapEquality struct {
+	// N is the input length; Delta is the gap parameter δ.
+	N, Delta int
+}
+
+// NewGapEquality returns the δ-Eq_n problem.
+func NewGapEquality(n, delta int) GapEquality { return GapEquality{N: n, Delta: delta} }
+
+// Name implements Problem.
+func (p GapEquality) Name() string { return fmt.Sprintf("%d-Eq_%d", p.Delta, p.N) }
+
+// InputLen implements Problem.
+func (p GapEquality) InputLen() int { return p.N }
+
+// Validate implements Problem.
+func (p GapEquality) Validate(x, y []int) error {
+	if err := checkBitString(p.N, x, y); err != nil {
+		return err
+	}
+	dist := 0
+	for i := range x {
+		if x[i] != y[i] {
+			dist++
+		}
+	}
+	if dist != 0 && dist <= p.Delta {
+		return fmt.Errorf("%w: Hamming distance %d is in (0, %d]", ErrPromiseViolated, dist, p.Delta)
+	}
+	return nil
+}
+
+// Evaluate implements Problem.
+func (p GapEquality) Evaluate(x, y []int) (int, error) {
+	if err := p.Validate(x, y); err != nil {
+		return 0, err
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			return 0, nil
+		}
+	}
+	return 1, nil
+}
+
+// Disjointness is the Set Disjointness problem Disj_n of Example 1.1:
+// f(x, y) = 1 iff the inner product ⟨x, y⟩ is zero (the sets are disjoint).
+type Disjointness struct {
+	// N is the input length in bits.
+	N int
+}
+
+// NewDisjointness returns the Disj_n problem.
+func NewDisjointness(n int) Disjointness { return Disjointness{N: n} }
+
+// Name implements Problem.
+func (p Disjointness) Name() string { return fmt.Sprintf("Disj_%d", p.N) }
+
+// InputLen implements Problem.
+func (p Disjointness) InputLen() int { return p.N }
+
+// Validate implements Problem.
+func (p Disjointness) Validate(x, y []int) error { return checkBitString(p.N, x, y) }
+
+// Evaluate implements Problem.
+func (p Disjointness) Evaluate(x, y []int) (int, error) {
+	if err := p.Validate(x, y); err != nil {
+		return 0, err
+	}
+	for i := range x {
+		if x[i] == 1 && y[i] == 1 {
+			return 0, nil
+		}
+	}
+	return 1, nil
+}
+
+// InnerProductMod3 is the IPmod3_n problem of Section 6: f(x, y) = 1 iff
+// Σ x_i·y_i ≡ 0 (mod 3).
+type InnerProductMod3 struct {
+	// N is the input length in bits.
+	N int
+}
+
+// NewInnerProductMod3 returns the IPmod3_n problem.
+func NewInnerProductMod3(n int) InnerProductMod3 { return InnerProductMod3{N: n} }
+
+// Name implements Problem.
+func (p InnerProductMod3) Name() string { return fmt.Sprintf("IPmod3_%d", p.N) }
+
+// InputLen implements Problem.
+func (p InnerProductMod3) InputLen() int { return p.N }
+
+// Validate implements Problem.
+func (p InnerProductMod3) Validate(x, y []int) error { return checkBitString(p.N, x, y) }
+
+// Evaluate implements Problem.
+func (p InnerProductMod3) Evaluate(x, y []int) (int, error) {
+	if err := p.Validate(x, y); err != nil {
+		return 0, err
+	}
+	sum := 0
+	for i := range x {
+		sum += x[i] * y[i]
+	}
+	if sum%3 == 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// Compile-time interface checks.
+var (
+	_ Problem = Equality{}
+	_ Problem = GapEquality{}
+	_ Problem = Disjointness{}
+	_ Problem = InnerProductMod3{}
+)

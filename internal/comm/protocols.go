@@ -1,0 +1,242 @@
+package comm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qdc/internal/quantum"
+)
+
+// Protocol is an executable communication protocol for a Problem.
+type Protocol interface {
+	// Name returns a short human-readable name.
+	Name() string
+	// Model returns the model the protocol is stated in.
+	Model() Model
+	// Problem returns the problem the protocol computes.
+	Problem() Problem
+	// Run executes the protocol on inputs (x, y) and returns the output bit
+	// and the full transcript. rng supplies the protocol's (public)
+	// randomness; deterministic protocols ignore it.
+	Run(x, y []int, rng *rand.Rand) (int, *Transcript, error)
+}
+
+// SendAllTwoParty is the trivial deterministic two-party protocol: Alice
+// sends her entire input to Bob, Bob computes the answer and sends it back.
+// Its cost n+1 is the deterministic upper bound every lower bound is
+// compared against.
+type SendAllTwoParty struct {
+	// P is the problem being solved.
+	P Problem
+}
+
+// Name implements Protocol.
+func (p SendAllTwoParty) Name() string { return "send-all/" + p.P.Name() }
+
+// Model implements Protocol.
+func (SendAllTwoParty) Model() Model { return ModelTwoParty }
+
+// Problem implements Protocol.
+func (p SendAllTwoParty) Problem() Problem { return p.P }
+
+// Run implements Protocol.
+func (p SendAllTwoParty) Run(x, y []int, _ *rand.Rand) (int, *Transcript, error) {
+	if err := p.P.Validate(x, y); err != nil {
+		return 0, nil, err
+	}
+	t := NewTranscript()
+	t.Record(Alice, Bob, len(x), "x")
+	out, err := p.P.Evaluate(x, y)
+	if err != nil {
+		return 0, nil, err
+	}
+	t.Record(Bob, Alice, 1, "answer")
+	return out, t, nil
+}
+
+// SendAllServer is the trivial server-model protocol: Carol sends her input
+// to the server (every bit she sends is charged), the server forwards it to
+// David for free, and David announces the answer.
+type SendAllServer struct {
+	// P is the problem being solved.
+	P Problem
+}
+
+// Name implements Protocol.
+func (p SendAllServer) Name() string { return "send-all-server/" + p.P.Name() }
+
+// Model implements Protocol.
+func (SendAllServer) Model() Model { return ModelServer }
+
+// Problem implements Protocol.
+func (p SendAllServer) Problem() Problem { return p.P }
+
+// Run implements Protocol.
+func (p SendAllServer) Run(x, y []int, _ *rand.Rand) (int, *Transcript, error) {
+	if err := p.P.Validate(x, y); err != nil {
+		return 0, nil, err
+	}
+	t := NewTranscript()
+	t.Record(Carol, Server, len(x), "x")
+	t.Record(Server, David, len(x), "relay x") // free under server accounting
+	out, err := p.P.Evaluate(x, y)
+	if err != nil {
+		return 0, nil, err
+	}
+	t.Record(David, Server, 1, "answer")
+	t.Record(Server, Carol, 1, "relay answer")
+	return out, t, nil
+}
+
+// fingerprintPrime is a fixed Mersenne prime (2^61 - 1) used for the
+// polynomial fingerprinting protocol; the error probability per repetition
+// is at most n / fingerprintPrime.
+const fingerprintPrime = uint64(1)<<61 - 1
+
+// FingerprintEquality is the classic O(log n)-bit public-coin randomized
+// protocol for Equality: both players evaluate their input as a polynomial
+// at a shared random point modulo a large prime and compare the values.
+// It has one-sided error (inputs with x = y are never rejected), which is
+// what makes Equality easy in the randomized two-party model — in contrast
+// with the Ω(n) bound that survives for the *gap* version in the server
+// model (Theorem 6.1).
+type FingerprintEquality struct {
+	// N is the input length.
+	N int
+}
+
+// Name implements Protocol.
+func (p FingerprintEquality) Name() string { return fmt.Sprintf("fingerprint/Eq_%d", p.N) }
+
+// Model implements Protocol.
+func (FingerprintEquality) Model() Model { return ModelTwoParty }
+
+// Problem implements Protocol.
+func (p FingerprintEquality) Problem() Problem { return NewEquality(p.N) }
+
+// Run implements Protocol.
+func (p FingerprintEquality) Run(x, y []int, rng *rand.Rand) (int, *Transcript, error) {
+	prob := NewEquality(p.N)
+	if err := prob.Validate(x, y); err != nil {
+		return 0, nil, err
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	// Shared random evaluation point (public coins are free).
+	point := uint64(rng.Int63())%(fingerprintPrime-2) + 1
+	ha := polyEval(x, point)
+	hb := polyEval(y, point)
+	t := NewTranscript()
+	t.Record(Alice, Bob, 64, "fingerprint")
+	out := 0
+	if ha == hb {
+		out = 1
+	}
+	t.Record(Bob, Alice, 1, "answer")
+	return out, t, nil
+}
+
+func polyEval(bits []int, point uint64) uint64 {
+	// Horner evaluation of Σ bits[i]·point^i over GF(fingerprintPrime),
+	// using 128-bit intermediate products via math/bits-free splitting.
+	var acc uint64
+	for i := len(bits) - 1; i >= 0; i-- {
+		acc = mulmod(acc, point, fingerprintPrime)
+		acc = (acc + uint64(bits[i])) % fingerprintPrime
+	}
+	return acc
+}
+
+func mulmod(a, b, m uint64) uint64 {
+	var res uint64
+	a %= m
+	for b > 0 {
+		if b&1 == 1 {
+			res = (res + a) % m
+		}
+		a = (a * 2) % m
+		b >>= 1
+	}
+	return res
+}
+
+// QuantumDisjointness is the Grover-based quantum protocol for Set
+// Disjointness in the style of Buhrman–Cleve–Wigderson (and, with better
+// polylog factors, Aaronson–Ambainis as cited in Example 1.1): the players
+// run Grover search for an index i with x_i = y_i = 1, exchanging
+// O(log n) qubits per oracle query, for O(√n) queries in total.
+//
+// For tractable input sizes the protocol actually runs Grover on the
+// state-vector simulator; the per-query communication is charged as
+// 2·(⌈log₂ n⌉ + 1) qubits (the index register there and back plus the
+// answer qubit), so the measured cost scales as O(√n·log n).
+type QuantumDisjointness struct {
+	// N is the input length.
+	N int
+}
+
+// Name implements Protocol.
+func (p QuantumDisjointness) Name() string { return fmt.Sprintf("grover/Disj_%d", p.N) }
+
+// Model implements Protocol.
+func (QuantumDisjointness) Model() Model { return ModelTwoParty }
+
+// Problem implements Protocol.
+func (p QuantumDisjointness) Problem() Problem { return NewDisjointness(p.N) }
+
+// QueryBits returns the number of (qu)bits exchanged per Grover query.
+func (p QuantumDisjointness) QueryBits() int {
+	logN := 1
+	for 1<<logN < p.N {
+		logN++
+	}
+	return 2 * (logN + 1)
+}
+
+// Run implements Protocol.
+func (p QuantumDisjointness) Run(x, y []int, rng *rand.Rand) (int, *Transcript, error) {
+	prob := NewDisjointness(p.N)
+	if err := prob.Validate(x, y); err != nil {
+		return 0, nil, err
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	oracle := func(i int) bool { return i < p.N && x[i] == 1 && y[i] == 1 }
+	res, err := quantum.GroverSearch(p.N, 1, oracle, rng)
+	if err != nil {
+		return 0, nil, fmt.Errorf("comm: grover search: %w", err)
+	}
+	t := NewTranscript()
+	perQuery := p.QueryBits()
+	for q := 0; q < res.OracleQueries; q++ {
+		// Alice sends the index register to Bob, Bob applies his half of
+		// the oracle and returns it. Both directions are charged.
+		t.Record(Alice, Bob, perQuery/2, "grover query")
+		t.Record(Bob, Alice, perQuery/2, "grover response")
+	}
+	// Final classical verification of the measured candidate index.
+	t.Record(Alice, Bob, 1+quantumIndexBits(p.N), "candidate index")
+	t.Record(Bob, Alice, 1, "verdict")
+	if res.IsMarked {
+		return 0, t, nil // intersection found: not disjoint
+	}
+	return 1, t, nil
+}
+
+func quantumIndexBits(n int) int {
+	b := 1
+	for 1<<b < n {
+		b++
+	}
+	return b
+}
+
+// Compile-time interface checks.
+var (
+	_ Protocol = SendAllTwoParty{}
+	_ Protocol = SendAllServer{}
+	_ Protocol = FingerprintEquality{}
+	_ Protocol = QuantumDisjointness{}
+)

@@ -1,0 +1,334 @@
+// Package congest implements a synchronous message-passing simulator for the
+// CONGEST(B) distributed computing model of Peleg, the model in which all of
+// the paper's upper and lower bounds are stated (Section 2.1 and Appendix A.1).
+//
+// A network is an undirected graph whose vertices are processors. Computation
+// proceeds in synchronous rounds. In each round every node may send at most B
+// bits over each incident edge in each direction; messages sent in round r are
+// delivered at the beginning of round r+1. Nodes have unbounded local
+// computation power, so only the number of rounds and the number of bits on
+// the wire are accounted for.
+//
+// The paper's *quantum* CONGEST model allows qubits and shared entanglement on
+// top of this; since all the paper's quantitative statements are about round
+// and bit counts, the simulator models communication classically and exposes
+// exact accounting, while package quantum provides the quantum primitives
+// (EPR pairs, teleportation, Grover search) whose costs are plugged into the
+// same accounting (see DESIGN.md, substitution table).
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Default bandwidths used across benchmarks. CONGEST conventionally takes
+// B = Θ(log n); DefaultBandwidth is a convenient fixed stand-in for
+// moderate n.
+const DefaultBandwidth = 32
+
+// Message is a single message sent over one edge in one round.
+//
+// Payload is opaque to the simulator; Bits is the number of bits the payload
+// occupies on the wire and is what the bandwidth limit is charged against.
+// Helper constructors in this package compute Bits for common payloads.
+type Message struct {
+	// From and To are node IDs; To must be a neighbour of From.
+	From, To int
+	// Payload is the message content, interpreted by the receiving node.
+	Payload any
+	// Bits is the size charged against the per-edge, per-round budget.
+	Bits int
+}
+
+// Node is the per-processor state machine supplied by an algorithm.
+//
+// The simulator calls Init exactly once before the first round and then calls
+// Round once per round until every node has reported done (and no messages
+// remain in flight) or the round limit is reached.
+type Node interface {
+	// Init is called once with the node's static context before round 1.
+	Init(ctx *Context)
+	// Round is called at every round with the messages delivered this round
+	// (i.e. sent during the previous round). It returns the messages to send
+	// this round and whether the node has terminated. A terminated node is
+	// still called in later rounds (it may simply return nil, true).
+	Round(ctx *Context, round int, inbox []Message) (outbox []Message, done bool)
+}
+
+// NodeFactory builds the Node that will run at the given context's node.
+// The context is fully initialised (ID, neighbours, input) when the factory
+// is invoked.
+type NodeFactory func(ctx *Context) Node
+
+// Context is the static, per-node view of the network handed to a Node. It
+// corresponds to the paper's assumption that a node knows its own ID, the IDs
+// of its neighbours, the weights of its incident edges, the network size n,
+// and its problem-specific input, and nothing else about the topology.
+type Context struct {
+	id        int
+	n         int
+	bandwidth int
+	neighbors []int
+	weights   map[int]float64
+	input     any
+	rng       *rand.Rand
+
+	output    any
+	outputSet bool
+}
+
+// ID returns this node's identifier (0..n-1).
+func (c *Context) ID() int { return c.id }
+
+// N returns the number of nodes in the network.
+func (c *Context) N() int { return c.n }
+
+// Bandwidth returns the per-edge, per-round bit budget B.
+func (c *Context) Bandwidth() int { return c.bandwidth }
+
+// Degree returns the number of neighbours.
+func (c *Context) Degree() int { return len(c.neighbors) }
+
+// Neighbors returns the IDs of the neighbours in ascending order. The slice
+// is a copy and may be modified by the caller.
+func (c *Context) Neighbors() []int {
+	out := make([]int, len(c.neighbors))
+	copy(out, c.neighbors)
+	return out
+}
+
+// IsNeighbor reports whether v is adjacent to this node.
+func (c *Context) IsNeighbor(v int) bool {
+	_, ok := c.weights[v]
+	return ok
+}
+
+// EdgeWeight returns the weight of the edge to neighbour v.
+func (c *Context) EdgeWeight(v int) (float64, bool) {
+	w, ok := c.weights[v]
+	return w, ok
+}
+
+// Input returns the problem-specific input assigned to this node via
+// Network.SetInput (nil if none).
+func (c *Context) Input() any { return c.input }
+
+// Rand returns this node's private deterministic random source. Nodes at
+// different IDs receive independent streams; re-running the same network
+// with the same seed reproduces the same stream (the paper's algorithms are
+// Monte Carlo, so reproducibility matters for tests).
+func (c *Context) Rand() *rand.Rand { return c.rng }
+
+// SetOutput records the node's final output for the problem being solved.
+func (c *Context) SetOutput(v any) {
+	c.output = v
+	c.outputSet = true
+}
+
+// Output returns the node's recorded output and whether one was set.
+func (c *Context) Output() (any, bool) { return c.output, c.outputSet }
+
+// Errors reported by the simulator.
+var (
+	// ErrBandwidthExceeded reports that a node attempted to send more than B
+	// bits over a single edge in a single round.
+	ErrBandwidthExceeded = errors.New("congest: bandwidth exceeded")
+	// ErrNotNeighbor reports a message addressed to a non-neighbour.
+	ErrNotNeighbor = errors.New("congest: message to non-neighbour")
+	// ErrNoTopology reports a network constructed without a topology.
+	ErrNoTopology = errors.New("congest: nil topology")
+	// ErrRoundLimit reports that the round limit was reached before all
+	// nodes terminated.
+	ErrRoundLimit = errors.New("congest: round limit reached before termination")
+)
+
+// Topology is the read-only view of the underlying graph that the simulator
+// needs. *graph.Graph satisfies it.
+type Topology interface {
+	N() int
+	Neighbors(v int) []int
+	Weight(u, v int) (float64, bool)
+}
+
+// Network is a configured CONGEST(B) network ready to run algorithms.
+// A Network may be reused for several runs; per-run state lives in Run.
+type Network struct {
+	topo      Topology
+	bandwidth int
+	seed      int64
+	inputs    map[int]any
+}
+
+// NewNetwork returns a network over the given topology with per-edge
+// bandwidth B (bits per round per direction). If bandwidth <= 0,
+// DefaultBandwidth is used.
+func NewNetwork(topo Topology, bandwidth int) (*Network, error) {
+	if topo == nil {
+		return nil, ErrNoTopology
+	}
+	if bandwidth <= 0 {
+		bandwidth = DefaultBandwidth
+	}
+	return &Network{
+		topo:      topo,
+		bandwidth: bandwidth,
+		seed:      1,
+		inputs:    make(map[int]any),
+	}, nil
+}
+
+// SetSeed fixes the seed from which all per-node random streams are derived.
+func (nw *Network) SetSeed(seed int64) { nw.seed = seed }
+
+// SetInput assigns a problem-specific input to node id. It silently ignores
+// out-of-range ids (they cannot correspond to any node).
+func (nw *Network) SetInput(id int, input any) {
+	if id < 0 || id >= nw.topo.N() {
+		return
+	}
+	nw.inputs[id] = input
+}
+
+// ClearInputs removes all per-node inputs.
+func (nw *Network) ClearInputs() { nw.inputs = make(map[int]any) }
+
+// Bandwidth returns the configured per-edge bandwidth.
+func (nw *Network) Bandwidth() int { return nw.bandwidth }
+
+// Size returns the number of nodes.
+func (nw *Network) Size() int { return nw.topo.N() }
+
+// Result summarises one run of an algorithm.
+type Result struct {
+	// Rounds is the number of synchronous rounds executed.
+	Rounds int
+	// Terminated reports whether every node signalled done within the limit.
+	Terminated bool
+	// TotalMessages is the number of messages delivered.
+	TotalMessages int
+	// TotalBits is the number of bits sent over all edges in all rounds.
+	TotalBits int64
+	// MaxEdgeBitsPerRound is the maximum number of bits observed on any
+	// single directed edge in any single round (always <= bandwidth).
+	MaxEdgeBitsPerRound int
+	// Outputs maps node ID to the output recorded via Context.SetOutput.
+	Outputs map[int]any
+}
+
+// Options configures a run.
+type Options struct {
+	// MaxRounds limits the number of rounds; if the limit is hit before all
+	// nodes terminate, Run returns the partial result and ErrRoundLimit.
+	// Zero means a default of 64*n + 64 rounds.
+	MaxRounds int
+	// Trace, if non-nil, is invoked for every accepted message with the
+	// round in which it was sent. It is used by the Simulation Theorem
+	// engine (internal/simulation) to re-account each message to the party
+	// that owns its sender.
+	Trace func(round int, msg Message)
+}
+
+type directedEdge struct{ from, to int }
+
+// Run executes the algorithm produced by factory on every node and returns
+// run statistics. It is deterministic for a fixed seed.
+func (nw *Network) Run(factory NodeFactory, opts Options) (*Result, error) {
+	n := nw.topo.N()
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 64*n + 64
+	}
+
+	ctxs := make([]*Context, n)
+	nodes := make([]Node, n)
+	for v := 0; v < n; v++ {
+		neighbors := nw.topo.Neighbors(v)
+		sort.Ints(neighbors)
+		weights := make(map[int]float64, len(neighbors))
+		for _, u := range neighbors {
+			if w, ok := nw.topo.Weight(v, u); ok {
+				weights[u] = w
+			}
+		}
+		ctxs[v] = &Context{
+			id:        v,
+			n:         n,
+			bandwidth: nw.bandwidth,
+			neighbors: neighbors,
+			weights:   weights,
+			input:     nw.inputs[v],
+			rng:       rand.New(rand.NewSource(nw.seed*1_000_003 + int64(v))),
+		}
+		nodes[v] = factory(ctxs[v])
+		if nodes[v] == nil {
+			return nil, fmt.Errorf("congest: factory returned nil node for id %d", v)
+		}
+	}
+	for v := 0; v < n; v++ {
+		nodes[v].Init(ctxs[v])
+	}
+
+	res := &Result{Outputs: make(map[int]any, n)}
+	inboxes := make([][]Message, n)
+	done := make([]bool, n)
+
+	for round := 1; round <= maxRounds; round++ {
+		res.Rounds = round
+		nextInboxes := make([][]Message, n)
+		edgeBits := make(map[directedEdge]int)
+		allDone := true
+		anyMessage := false
+
+		for v := 0; v < n; v++ {
+			outbox, nodeDone := nodes[v].Round(ctxs[v], round, inboxes[v])
+			done[v] = nodeDone
+			if !nodeDone {
+				allDone = false
+			}
+			for _, msg := range outbox {
+				msg.From = v
+				if !ctxs[v].IsNeighbor(msg.To) {
+					return res, fmt.Errorf("%w: node %d -> %d in round %d", ErrNotNeighbor, v, msg.To, round)
+				}
+				if msg.Bits < 0 {
+					msg.Bits = 0
+				}
+				key := directedEdge{from: v, to: msg.To}
+				edgeBits[key] += msg.Bits
+				if edgeBits[key] > nw.bandwidth {
+					return res, fmt.Errorf("%w: node %d -> %d sent %d bits in round %d (B=%d)",
+						ErrBandwidthExceeded, v, msg.To, edgeBits[key], round, nw.bandwidth)
+				}
+				nextInboxes[msg.To] = append(nextInboxes[msg.To], msg)
+				res.TotalMessages++
+				res.TotalBits += int64(msg.Bits)
+				anyMessage = true
+				if opts.Trace != nil {
+					opts.Trace(round, msg)
+				}
+				if edgeBits[key] > res.MaxEdgeBitsPerRound {
+					res.MaxEdgeBitsPerRound = edgeBits[key]
+				}
+			}
+		}
+
+		inboxes = nextInboxes
+		if allDone && !anyMessage {
+			res.Terminated = true
+			break
+		}
+	}
+
+	for v := 0; v < n; v++ {
+		if out, ok := ctxs[v].Output(); ok {
+			res.Outputs[v] = out
+		}
+	}
+	if !res.Terminated {
+		return res, fmt.Errorf("%w: after %d rounds", ErrRoundLimit, res.Rounds)
+	}
+	return res, nil
+}

@@ -1,0 +1,278 @@
+package congest
+
+import (
+	"errors"
+	"testing"
+
+	"qdc/internal/graph"
+)
+
+// floodMaxNode floods the maximum ID seen so far; after diameter+1 rounds of
+// silence it terminates with the maximum as output. It is the classic
+// "leader election by flooding" used here to exercise the simulator.
+type floodMaxNode struct {
+	best    int
+	changed bool
+	quiet   int
+}
+
+func (f *floodMaxNode) Init(ctx *Context) {
+	f.best = ctx.ID()
+	f.changed = true
+}
+
+func (f *floodMaxNode) Round(ctx *Context, round int, inbox []Message) ([]Message, bool) {
+	for _, m := range inbox {
+		if v, ok := m.Payload.(int); ok && v > f.best {
+			f.best = v
+			f.changed = true
+		}
+	}
+	if f.changed {
+		f.changed = false
+		f.quiet = 0
+		return Broadcast(ctx.Neighbors(), f.best, BitsForID(ctx.N())), false
+	}
+	f.quiet++
+	ctx.SetOutput(f.best)
+	return nil, f.quiet > ctx.N()
+}
+
+func TestFloodingFindsMaximum(t *testing.T) {
+	topo := graph.Path(10)
+	nw, err := NewNetwork(topo, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nw.Run(func(*Context) Node { return &floodMaxNode{} }, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Terminated {
+		t.Fatal("run did not terminate")
+	}
+	for id, out := range res.Outputs {
+		if out.(int) != 9 {
+			t.Fatalf("node %d output %v, want 9", id, out)
+		}
+	}
+	if len(res.Outputs) != 10 {
+		t.Fatalf("outputs from %d nodes, want 10", len(res.Outputs))
+	}
+	if res.TotalMessages == 0 || res.TotalBits == 0 {
+		t.Fatal("message accounting is empty")
+	}
+	if res.MaxEdgeBitsPerRound > 16 {
+		t.Fatalf("MaxEdgeBitsPerRound = %d exceeds bandwidth", res.MaxEdgeBitsPerRound)
+	}
+}
+
+func TestFloodingRoundsScaleWithDiameter(t *testing.T) {
+	short := graph.Star(50)
+	long := graph.Path(50)
+	nwShort, _ := NewNetwork(short, 16)
+	nwLong, _ := NewNetwork(long, 16)
+	rs, err := nwShort.Run(func(*Context) Node { return &floodMaxNode{} }, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := nwLong.Run(func(*Context) Node { return &floodMaxNode{} }, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.Rounds <= rs.Rounds {
+		t.Fatalf("flooding on a path (%d rounds) should take longer than on a star (%d rounds)", rl.Rounds, rs.Rounds)
+	}
+}
+
+// oversendNode violates the bandwidth constraint on purpose.
+type oversendNode struct{}
+
+func (oversendNode) Init(*Context) {}
+func (oversendNode) Round(ctx *Context, round int, inbox []Message) ([]Message, bool) {
+	nbrs := ctx.Neighbors()
+	if len(nbrs) == 0 {
+		return nil, true
+	}
+	return []Message{NewMessage(nbrs[0], 0, ctx.Bandwidth()+1)}, false
+}
+
+func TestBandwidthEnforced(t *testing.T) {
+	nw, _ := NewNetwork(graph.Path(3), 8)
+	_, err := nw.Run(func(*Context) Node { return oversendNode{} }, Options{})
+	if !errors.Is(err, ErrBandwidthExceeded) {
+		t.Fatalf("err = %v, want ErrBandwidthExceeded", err)
+	}
+}
+
+// strangerNode sends to a node that is not its neighbour.
+type strangerNode struct{}
+
+func (strangerNode) Init(*Context) {}
+func (strangerNode) Round(ctx *Context, round int, inbox []Message) ([]Message, bool) {
+	target := (ctx.ID() + 2) % ctx.N()
+	return []Message{NewMessage(target, 1, 1)}, false
+}
+
+func TestNonNeighborRejected(t *testing.T) {
+	nw, _ := NewNetwork(graph.Path(5), 8)
+	_, err := nw.Run(func(*Context) Node { return strangerNode{} }, Options{})
+	if !errors.Is(err, ErrNotNeighbor) {
+		t.Fatalf("err = %v, want ErrNotNeighbor", err)
+	}
+}
+
+// chattyNode never terminates.
+type chattyNode struct{}
+
+func (chattyNode) Init(*Context) {}
+func (chattyNode) Round(ctx *Context, round int, inbox []Message) ([]Message, bool) {
+	return nil, false
+}
+
+func TestRoundLimit(t *testing.T) {
+	nw, _ := NewNetwork(graph.Path(4), 8)
+	res, err := nw.Run(func(*Context) Node { return chattyNode{} }, Options{MaxRounds: 17})
+	if !errors.Is(err, ErrRoundLimit) {
+		t.Fatalf("err = %v, want ErrRoundLimit", err)
+	}
+	if res.Rounds != 17 {
+		t.Fatalf("rounds = %d, want 17", res.Rounds)
+	}
+	if res.Terminated {
+		t.Fatal("should not be marked terminated")
+	}
+}
+
+func TestContextView(t *testing.T) {
+	topo := graph.New(3)
+	topo.MustAddEdge(0, 1, 2.5)
+	topo.MustAddEdge(1, 2, 7)
+	nw, _ := NewNetwork(topo, 0) // default bandwidth
+	if nw.Bandwidth() != DefaultBandwidth {
+		t.Fatalf("bandwidth = %d, want default", nw.Bandwidth())
+	}
+	nw.SetInput(1, "hello")
+	nw.SetInput(99, "ignored")
+
+	type probe struct {
+		neighbors []int
+		weight    float64
+		input     any
+		n         int
+	}
+	probes := make([]probe, 3)
+	factory := func(ctx *Context) Node {
+		probes[ctx.ID()] = probe{
+			neighbors: ctx.Neighbors(),
+			input:     ctx.Input(),
+			n:         ctx.N(),
+		}
+		if w, ok := ctx.EdgeWeight(ctx.Neighbors()[0]); ok {
+			probes[ctx.ID()].weight = w
+		}
+		return &floodMaxNode{}
+	}
+	if _, err := nw.Run(factory, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if probes[1].input != "hello" || probes[0].input != nil {
+		t.Fatalf("inputs wrong: %+v", probes)
+	}
+	if probes[0].n != 3 || len(probes[1].neighbors) != 2 {
+		t.Fatalf("context view wrong: %+v", probes)
+	}
+	if probes[0].weight != 2.5 {
+		t.Fatalf("edge weight = %g, want 2.5", probes[0].weight)
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	run := func(seed int64) []int {
+		nw, _ := NewNetwork(graph.Complete(4), 16)
+		nw.SetSeed(seed)
+		var draws []int
+		factory := func(ctx *Context) Node {
+			draws = append(draws, ctx.Rand().Intn(1_000_000))
+			return &floodMaxNode{}
+		}
+		if _, err := nw.Run(factory, Options{}); err != nil {
+			t.Fatal(err)
+		}
+		return draws
+	}
+	a, b, c := run(5), run(5), run(6)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different draws: %v vs %v", a, b)
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical draws")
+	}
+}
+
+func TestNilTopologyAndNilFactory(t *testing.T) {
+	if _, err := NewNetwork(nil, 8); !errors.Is(err, ErrNoTopology) {
+		t.Fatalf("err = %v, want ErrNoTopology", err)
+	}
+	nw, _ := NewNetwork(graph.Path(2), 8)
+	if _, err := nw.Run(func(*Context) Node { return nil }, Options{}); err == nil {
+		t.Fatal("nil node should be rejected")
+	}
+}
+
+func TestBitsHelpers(t *testing.T) {
+	tests := []struct {
+		fn   func(int) int
+		in   int
+		want int
+	}{
+		{BitsForID, 1, 1},
+		{BitsForID, 2, 1},
+		{BitsForID, 1024, 10},
+		{BitsForID, 1025, 11},
+		{BitsForInt, 0, 1},
+		{BitsForInt, 1, 1},
+		{BitsForInt, 7, 3},
+		{BitsForInt, 8, 4},
+		{BitsForInt, -8, 4},
+	}
+	for _, tc := range tests {
+		if got := tc.fn(tc.in); got != tc.want {
+			t.Errorf("bits(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestBroadcastHelper(t *testing.T) {
+	msgs := Broadcast([]int{3, 5}, "x", 4)
+	if len(msgs) != 2 || msgs[0].To != 3 || msgs[1].To != 5 || msgs[0].Bits != 4 {
+		t.Fatalf("broadcast = %+v", msgs)
+	}
+}
+
+func TestClearInputs(t *testing.T) {
+	nw, _ := NewNetwork(graph.Path(2), 8)
+	nw.SetInput(0, 1)
+	nw.ClearInputs()
+	sawInput := false
+	factory := func(ctx *Context) Node {
+		if ctx.Input() != nil {
+			sawInput = true
+		}
+		return &floodMaxNode{}
+	}
+	if _, err := nw.Run(factory, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if sawInput {
+		t.Fatal("inputs should have been cleared")
+	}
+}

@@ -1,0 +1,51 @@
+package congest
+
+import "math"
+
+// Bit-size helpers. The CONGEST model charges per bit; the helpers below give
+// the sizes used uniformly across the algorithms in internal/dist so that the
+// measured TotalBits of a run reflects the paper's accounting (IDs and
+// weights are O(log n)-bit words).
+
+// BitsForID returns the number of bits needed to name one of n distinct
+// values (at least 1).
+func BitsForID(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return int(math.Ceil(math.Log2(float64(n))))
+}
+
+// BitsForInt returns the number of bits needed to represent the non-negative
+// integer v (at least 1).
+func BitsForInt(v int) int {
+	if v < 0 {
+		v = -v
+	}
+	if v <= 1 {
+		return 1
+	}
+	return int(math.Floor(math.Log2(float64(v)))) + 1
+}
+
+// BitsForWeight is the fixed word size charged for one edge weight. Weights
+// are real numbers in the paper; a 64-bit word is the standard encoding.
+const BitsForWeight = 64
+
+// BitsForBool is the size of a single flag.
+const BitsForBool = 1
+
+// NewMessage builds a message to the given neighbour with an explicit bit
+// size. From is filled in by the simulator.
+func NewMessage(to int, payload any, bits int) Message {
+	return Message{To: to, Payload: payload, Bits: bits}
+}
+
+// Broadcast builds one identical message per listed neighbour.
+func Broadcast(neighbors []int, payload any, bits int) []Message {
+	out := make([]Message, 0, len(neighbors))
+	for _, v := range neighbors {
+		out = append(out, NewMessage(v, payload, bits))
+	}
+	return out
+}

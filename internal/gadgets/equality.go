@@ -1,0 +1,209 @@
+package gadgets
+
+import (
+	"fmt"
+
+	"qdc/internal/graph"
+)
+
+// The Gap-Equality → Gap-Ham reduction (the role of Figure 7 in the paper).
+//
+// Each input bit position i of the n-bit strings x, y is first re-encoded as
+// two positions of an "AND instance": position 2i carries (x_i, ¬y_i) and
+// position 2i+1 carries (¬x_i, y_i), so that exactly one of the two encoded
+// positions has both bits equal to 1 precisely when x_i ≠ y_i. The Hamming
+// distance Δ(x, y) therefore equals the number of encoded positions whose
+// AND is 1.
+//
+// Each encoded position becomes a two-track gadget with four internal
+// vertices. When the position's AND is 0 the gadget routes its two tracks
+// straight through (possibly crossing them); when the AND is 1 the gadget
+// performs a U-turn on both of its sides, cutting the chain. Chaining the
+// 2n gadgets into a ring therefore yields:
+//
+//   - x = y  ⇒ the whole graph is one Hamiltonian cycle;
+//   - Δ(x,y) = δ ≥ 1 ⇒ the graph is a disjoint union of exactly δ cycles
+//     (for δ = 1 that single cycle still covers every vertex), so for
+//     δ ≥ 2 the graph is Ω(δ)-far from being a Hamiltonian cycle.
+//
+// This is precisely the behaviour the paper states for its Figure 7 gadget
+// ("if x_{i_j} ≠ y_{i_j} ... then G consists of δ cycles"), and it is why
+// the reduction serves the *gap* problem: the promise Δ(x,y) > βn rules out
+// the small-δ region where the cycle count does not certify inequality.
+// Both players' edge sets are perfect matchings, as Definition 3.3 requires.
+
+// tracksEq is the number of parallel tracks in the equality construction.
+const tracksEq = 2
+
+// internalEq is the number of internal vertices per equality gadget.
+const internalEq = 4
+
+// NodesPerEqPosition is the number of vertices contributed per encoded
+// position (one boundary pair plus four internal vertices); each original
+// input bit contributes two encoded positions.
+const NodesPerEqPosition = tracksEq + internalEq
+
+// HammingDistance returns Δ(x, y) = |{i : x_i ≠ y_i}|.
+func HammingDistance(x, y []int) (int, error) {
+	if err := checkBits(x, y); err != nil {
+		return 0, err
+	}
+	d := 0
+	for i := range x {
+		if x[i] != y[i] {
+			d++
+		}
+	}
+	return d, nil
+}
+
+// EqualityValue returns 1 if x = y and 0 otherwise (the Eq_n function).
+func EqualityValue(x, y []int) (int, error) {
+	d, err := HammingDistance(x, y)
+	if err != nil {
+		return 0, err
+	}
+	if d == 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// eqLayout assigns vertex indices for the equality construction: m encoded
+// positions, each owning its left boundary pair and four internal vertices;
+// the ring wraps the last position's right boundary onto position 0's left
+// boundary.
+//
+// When x = y every original input position contributes exactly one
+// track-crossing gadget, so the two tracks close into a single Hamiltonian
+// cycle exactly when the total number of crossings around the ring is odd.
+// crossClosure compensates for the parity of that count (it is set when the
+// original input length n is even), so that the x = y case is a Hamiltonian
+// cycle for every n. The closure is part of the construction — it depends
+// only on n, never on the inputs.
+type eqLayout struct {
+	m            int
+	crossClosure bool
+}
+
+func (l eqLayout) base(i int) int        { return i * NodesPerEqPosition }
+func (l eqLayout) left(i, j int) int     { return l.base(i) + j }
+func (l eqLayout) internal(i, k int) int { return l.base(i) + tracksEq + k } // k in 1..4 -> +0..3
+func (l eqLayout) total() int            { return l.m * NodesPerEqPosition }
+
+func (l eqLayout) right(i, j int) int {
+	if i == l.m-1 && l.crossClosure {
+		return l.left(0, 1-j)
+	}
+	return l.left((i+1)%l.m, j)
+}
+
+// EqToGapHam builds the reduction from (Gap-)Equality on n-bit strings to
+// (Gap-)Hamiltonian-cycle verification on a graph with 12n vertices.
+func EqToGapHam(x, y []int) (*Reduction, error) {
+	if err := checkBits(x, y); err != nil {
+		return nil, err
+	}
+	n := len(x)
+	// Encoded AND-instance: 2n positions.
+	xe := make([]int, 0, 2*n)
+	ye := make([]int, 0, 2*n)
+	for i := 0; i < n; i++ {
+		xe = append(xe, x[i], 1-x[i])
+		ye = append(ye, 1-y[i], y[i])
+	}
+	m := 2 * n
+	layout := eqLayout{m: m, crossClosure: n%2 == 0}
+	g := graph.New(layout.total())
+	carol := graph.NewEdgeSet()
+	david := graph.NewEdgeSet()
+
+	addCarol := func(u, v int) {
+		carol.Add(u, v)
+		g.MustAddEdge(u, v, 1)
+	}
+	addDavid := func(u, v int) {
+		david.Add(u, v)
+		g.MustAddEdge(u, v, 1)
+	}
+
+	for i := 0; i < m; i++ {
+		l0, l1 := layout.left(i, 0), layout.left(i, 1)
+		r0, r1 := layout.right(i, 0), layout.right(i, 1)
+		// Internal vertices 1..4 of this gadget.
+		in := func(k int) int { return layout.internal(i, k-1) }
+
+		// Carol's matching covers {L0, L1, 1, 2, 3, 4}.
+		if xe[i] == 0 {
+			addCarol(l0, in(1))
+			addCarol(in(2), in(3))
+			addCarol(l1, in(4))
+		} else {
+			addCarol(l0, in(2))
+			addCarol(in(1), in(3))
+			addCarol(l1, in(4))
+		}
+		// David's matching covers {1, 2, 3, 4, R0, R1}.
+		if ye[i] == 0 {
+			addDavid(in(1), in(2))
+			addDavid(in(3), r0)
+			addDavid(in(4), r1)
+		} else {
+			addDavid(in(2), in(4))
+			addDavid(in(1), r1)
+			addDavid(r0, in(3))
+		}
+	}
+	return &Reduction{Graph: g, CarolEdges: carol, DavidEdges: david, Gadgets: m}, nil
+}
+
+// EqGadgetBehaviour describes a single encoded-position gadget in isolation.
+type EqGadgetBehaviour struct {
+	// Straight reports that the gadget connects its left boundary pair to
+	// its right boundary pair by two vertex-disjoint paths (the AND-0 case).
+	Straight bool
+	// UTurn reports that the gadget connects L0 to L1 and R0 to R1 (the
+	// AND-1 case), cutting the chain.
+	UTurn bool
+}
+
+// EqGadgetInspect builds one encoded-position gadget in isolation (without
+// the ring closure) for bit pair (xe, ye) and classifies its routing.
+func EqGadgetInspect(xe, ye int) (*EqGadgetBehaviour, error) {
+	if xe != 0 && xe != 1 || ye != 0 && ye != 1 {
+		return nil, fmt.Errorf("%w: (%d,%d)", ErrBadBit, xe, ye)
+	}
+	// Vertices: L0=0, L1=1, internals 2..5, R0=6, R1=7.
+	g := graph.New(8)
+	in := func(k int) int { return 1 + k } // k=1..4 -> 2..5
+	l0, l1, r0, r1 := 0, 1, 6, 7
+	if xe == 0 {
+		g.MustAddEdge(l0, in(1), 1)
+		g.MustAddEdge(in(2), in(3), 1)
+		g.MustAddEdge(l1, in(4), 1)
+	} else {
+		g.MustAddEdge(l0, in(2), 1)
+		g.MustAddEdge(in(1), in(3), 1)
+		g.MustAddEdge(l1, in(4), 1)
+	}
+	if ye == 0 {
+		g.MustAddEdge(in(1), in(2), 1)
+		g.MustAddEdge(in(3), r0, 1)
+		g.MustAddEdge(in(4), r1, 1)
+	} else {
+		g.MustAddEdge(in(2), in(4), 1)
+		g.MustAddEdge(in(1), r1, 1)
+		g.MustAddEdge(r0, in(3), 1)
+	}
+	b := &EqGadgetBehaviour{
+		Straight: g.STConnected(l0, r0) || g.STConnected(l0, r1),
+		UTurn:    g.STConnected(l0, l1) && g.STConnected(r0, r1),
+	}
+	// Consistency: every internal vertex must lie on one of the paths.
+	for k := 1; k <= 4; k++ {
+		if g.Degree(in(k)) != 2 {
+			return nil, fmt.Errorf("gadgets: internal vertex %d has degree %d", k, g.Degree(in(k)))
+		}
+	}
+	return b, nil
+}

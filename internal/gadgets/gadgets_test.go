@@ -1,0 +1,323 @@
+package gadgets
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomBits(n int, rng *rand.Rand) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rng.Intn(2)
+	}
+	return out
+}
+
+func TestIPMod3Value(t *testing.T) {
+	tests := []struct {
+		name string
+		x, y []int
+		want int
+	}{
+		{"zero inner product", []int{1, 0, 1}, []int{0, 1, 0}, 1},
+		{"ip=1", []int{1, 0, 0}, []int{1, 0, 0}, 0},
+		{"ip=3", []int{1, 1, 1}, []int{1, 1, 1}, 1},
+		{"ip=2", []int{1, 1, 0, 0}, []int{1, 1, 0, 0}, 0},
+		{"ip=6", []int{1, 1, 1, 1, 1, 1}, []int{1, 1, 1, 1, 1, 1}, 1},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := IPMod3Value(tc.x, tc.y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("IPMod3Value = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	if _, err := IPMod3Value([]int{1}, []int{1, 0}); !errors.Is(err, ErrLengthMismatch) {
+		t.Fatalf("err = %v, want length mismatch", err)
+	}
+	if _, err := IPMod3Value(nil, nil); !errors.Is(err, ErrLengthMismatch) {
+		t.Fatalf("err = %v, want length mismatch", err)
+	}
+	if _, err := IPMod3Value([]int{2}, []int{1}); !errors.Is(err, ErrBadBit) {
+		t.Fatalf("err = %v, want bad bit", err)
+	}
+	if _, err := IPMod3ToHam([]int{0, 3}, []int{0, 1}); !errors.Is(err, ErrBadBit) {
+		t.Fatalf("err = %v, want bad bit", err)
+	}
+	if _, err := EqToGapHam([]int{1}, []int{1, 1}); !errors.Is(err, ErrLengthMismatch) {
+		t.Fatalf("err = %v, want length mismatch", err)
+	}
+	if _, err := IPGadgetTrackPermutation(2, 0); !errors.Is(err, ErrBadBit) {
+		t.Fatalf("err = %v, want bad bit", err)
+	}
+	if _, err := EqGadgetInspect(0, 5); !errors.Is(err, ErrBadBit) {
+		t.Fatalf("err = %v, want bad bit", err)
+	}
+}
+
+// Observation 7.1: within one gadget, left track j is connected to right
+// track (j + x_i·y_i) mod 3.
+func TestObservation71TrackPermutation(t *testing.T) {
+	for xi := 0; xi <= 1; xi++ {
+		for yi := 0; yi <= 1; yi++ {
+			perm, err := IPGadgetTrackPermutation(xi, yi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < 3; j++ {
+				want := (j + xi*yi) % 3
+				if perm[j] != want {
+					t.Fatalf("(x,y)=(%d,%d): track %d -> %d, want %d", xi, yi, j, perm[j], want)
+				}
+			}
+		}
+	}
+}
+
+// Lemma C.3 part 1: each player's edge set is a perfect matching of G.
+func TestIPMod3MatchingsArePerfect(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(30)
+		red, err := IPMod3ToHam(randomBits(n, rng), randomBits(n, rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !red.CarolIsPerfectMatching() {
+			t.Fatalf("n=%d: Carol's edges are not a perfect matching", n)
+		}
+		if !red.DavidIsPerfectMatching() {
+			t.Fatalf("n=%d: David's edges are not a perfect matching", n)
+		}
+		if red.NumNodes() != NodesPerIPGadget*n {
+			t.Fatalf("n=%d: nodes = %d, want %d", n, red.NumNodes(), NodesPerIPGadget*n)
+		}
+	}
+}
+
+// Lemma C.3 part 2: G is a Hamiltonian cycle iff Σ x_i·y_i mod 3 ≠ 0,
+// i.e. Ham(G) = 1 - IPmod3(x,y). Exhaustive check for small n.
+func TestLemmaC3Exhaustive(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		for xm := 0; xm < 1<<n; xm++ {
+			for ym := 0; ym < 1<<n; ym++ {
+				x := make([]int, n)
+				y := make([]int, n)
+				for i := 0; i < n; i++ {
+					x[i] = (xm >> i) & 1
+					y[i] = (ym >> i) & 1
+				}
+				red, err := IPMod3ToHam(x, y)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ip, err := IPMod3Value(x, y)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantHam := ip == 0
+				if red.IsHamiltonian() != wantHam {
+					t.Fatalf("n=%d x=%v y=%v: IsHamiltonian=%v, want %v", n, x, y, red.IsHamiltonian(), wantHam)
+				}
+				// When not Hamiltonian the construction has exactly 3 cycles.
+				if !wantHam && red.CycleCount() != 3 {
+					t.Fatalf("n=%d x=%v y=%v: cycle count %d, want 3", n, x, y, red.CycleCount())
+				}
+				if wantHam && red.CycleCount() != 1 {
+					t.Fatalf("n=%d x=%v y=%v: cycle count %d, want 1", n, x, y, red.CycleCount())
+				}
+			}
+		}
+	}
+}
+
+// Property-based version of Lemma C.3 for larger random instances.
+func TestQuickLemmaC3Random(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		x, y := randomBits(n, rng), randomBits(n, rng)
+		red, err := IPMod3ToHam(x, y)
+		if err != nil {
+			return false
+		}
+		ip, err := IPMod3Value(x, y)
+		if err != nil {
+			return false
+		}
+		return red.IsHamiltonian() == (ip == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqGadgetBehaviour(t *testing.T) {
+	// AND = 0 cases route straight through; AND = 1 performs a U-turn.
+	for xe := 0; xe <= 1; xe++ {
+		for ye := 0; ye <= 1; ye++ {
+			b, err := EqGadgetInspect(xe, ye)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantUTurn := xe == 1 && ye == 1
+			if b.UTurn != wantUTurn {
+				t.Fatalf("(x,y)=(%d,%d): UTurn=%v, want %v", xe, ye, b.UTurn, wantUTurn)
+			}
+			if b.Straight == wantUTurn {
+				t.Fatalf("(x,y)=(%d,%d): Straight=%v inconsistent", xe, ye, b.Straight)
+			}
+		}
+	}
+}
+
+func TestEqualityHelpers(t *testing.T) {
+	d, err := HammingDistance([]int{1, 0, 1, 1}, []int{0, 0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 2 {
+		t.Fatalf("HammingDistance = %d, want 2", d)
+	}
+	v, err := EqualityValue([]int{1, 1}, []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Fatalf("EqualityValue = %d, want 1", v)
+	}
+	v, err = EqualityValue([]int{1, 0}, []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Fatalf("EqualityValue = %d, want 0", v)
+	}
+}
+
+// The key structural property of the Figure 7 reduction: x = y gives a
+// Hamiltonian cycle; Δ(x,y) = δ ≥ 1 gives exactly δ disjoint cycles.
+func TestEqReductionCycleStructureExhaustive(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		for xm := 0; xm < 1<<n; xm++ {
+			for ym := 0; ym < 1<<n; ym++ {
+				x := make([]int, n)
+				y := make([]int, n)
+				for i := 0; i < n; i++ {
+					x[i] = (xm >> i) & 1
+					y[i] = (ym >> i) & 1
+				}
+				red, err := EqToGapHam(x, y)
+				if err != nil {
+					t.Fatal(err)
+				}
+				delta, err := HammingDistance(x, y)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if delta == 0 {
+					if !red.IsHamiltonian() {
+						t.Fatalf("n=%d x=y=%v: expected Hamiltonian cycle, got %d cycles", n, x, red.CycleCount())
+					}
+					continue
+				}
+				// Δ ≥ 1: exactly Δ disjoint cycles. The single cycle of the
+				// Δ = 1 case still covers every vertex (which is exactly why
+				// this construction only serves the gap problem); for Δ ≥ 2
+				// the graph cannot be a Hamiltonian cycle.
+				if got := red.CycleCount(); got != delta {
+					t.Fatalf("n=%d x=%v y=%v: cycles=%d, want Δ=%d", n, x, y, got, delta)
+				}
+				if delta >= 2 && red.IsHamiltonian() {
+					t.Fatalf("n=%d x=%v y=%v: should not be Hamiltonian with Δ=%d", n, x, y, delta)
+				}
+				if delta == 1 && !red.IsHamiltonian() {
+					t.Fatalf("n=%d x=%v y=%v: Δ=1 single cycle should cover all vertices", n, x, y)
+				}
+			}
+		}
+	}
+}
+
+func TestEqReductionMatchingsAndSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + rng.Intn(40)
+		x, y := randomBits(n, rng), randomBits(n, rng)
+		red, err := EqToGapHam(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !red.CarolIsPerfectMatching() || !red.DavidIsPerfectMatching() {
+			t.Fatalf("n=%d: player edge sets are not perfect matchings", n)
+		}
+		if red.NumNodes() != 2*n*NodesPerEqPosition {
+			t.Fatalf("n=%d: nodes=%d, want %d", n, red.NumNodes(), 2*n*NodesPerEqPosition)
+		}
+		if red.Gadgets != 2*n {
+			t.Fatalf("n=%d: gadgets=%d, want %d", n, red.Gadgets, 2*n)
+		}
+	}
+}
+
+// Property: the cycle count of the equality reduction equals the Hamming
+// distance for random inputs (and 1 when the strings are equal), which is
+// what makes the reduction work for the gap version: Δ(x,y) > βn implies the
+// graph is more than βn-far from being a Hamiltonian cycle.
+func TestQuickEqReductionCycleCount(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		x := randomBits(n, rng)
+		y := make([]int, n)
+		copy(y, x)
+		// Flip a random subset to control Δ exactly.
+		delta := rng.Intn(n + 1)
+		perm := rng.Perm(n)
+		for i := 0; i < delta; i++ {
+			y[perm[i]] ^= 1
+		}
+		red, err := EqToGapHam(x, y)
+		if err != nil {
+			return false
+		}
+		if delta <= 1 {
+			return red.IsHamiltonian()
+		}
+		return red.CycleCount() == delta && !red.IsHamiltonian()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReductionGraphIsTwoRegular(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(20)
+		ip, err := IPMod3ToHam(randomBits(n, rng), randomBits(n, rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq, err := EqToGapHam(randomBits(n, rng), randomBits(n, rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, red := range []*Reduction{ip, eq} {
+			for v := 0; v < red.Graph.N(); v++ {
+				if red.Graph.Degree(v) != 2 {
+					t.Fatalf("vertex %d has degree %d, want 2", v, red.Graph.Degree(v))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Package gadgets implements the gadget-based reductions of Section 7 of the
+// paper (Theorem 3.4): from Inner Product mod 3 to Hamiltonian-cycle
+// verification, and from Gap Equality to Gap Hamiltonian-cycle verification.
+//
+// Both reductions build a graph G out of n chained gadgets. Carol's edges
+// depend only on her string x and David's edges only on his string y, and
+// each player's edge set is a perfect matching of V(G) — exactly the
+// restricted form of the server-model Ham problem (Definition 3.3) that the
+// Quantum Simulation Theorem needs.
+//
+// The three-track gadget realises Observation 7.1: within gadget i the graph
+// consists of three vertex-disjoint paths connecting the left boundary
+// triple to the right boundary triple, shifted by x_i·y_i (mod 3). Chaining
+// the gadgets and identifying the two ends (Figure 6/12) makes the whole
+// graph a single Hamiltonian cycle exactly when Σ x_i·y_i mod 3 ≠ 0
+// (Lemma C.3), i.e. Ham(G) = ¬ IPmod3(x, y).
+//
+// The concrete internal wiring differs from the figures in the paper (which
+// are only drawings); what is reproduced — and verified by the tests — is
+// the full set of structural statements the proof relies on: Observation 7.1,
+// Lemma 7.2, Lemma C.3, the perfect-matching property, and the δ-cycle
+// structure of the Gap-Equality gadget (Figure 7).
+package gadgets
+
+import (
+	"errors"
+	"fmt"
+
+	"qdc/internal/graph"
+)
+
+// Errors returned by the reduction builders.
+var (
+	// ErrBadBit reports an input symbol outside {0,1}.
+	ErrBadBit = errors.New("gadgets: input bits must be 0 or 1")
+	// ErrLengthMismatch reports input strings of different lengths.
+	ErrLengthMismatch = errors.New("gadgets: input strings must have equal, positive length")
+)
+
+// tracksIP is the number of parallel tracks in the IPmod3 construction.
+const tracksIP = 3
+
+// layersIP is the number of internal node layers per gadget (a, b, c).
+const layersIP = 3
+
+// NodesPerIPGadget is the number of vertices contributed by each IPmod3
+// gadget: one boundary triple plus three internal triples (the next
+// gadget's boundary is shared, and the last gadget wraps onto the first).
+const NodesPerIPGadget = tracksIP * (1 + layersIP)
+
+// Reduction is the output of a gadget reduction: the constructed graph and
+// the two players' edge sets.
+type Reduction struct {
+	// Graph is G = (V, CarolEdges ∪ DavidEdges).
+	Graph *graph.Graph
+	// CarolEdges are the edges determined by x (Carol/Alice's matching).
+	CarolEdges *graph.EdgeSet
+	// DavidEdges are the edges determined by y (David/Bob's matching).
+	DavidEdges *graph.EdgeSet
+	// Gadgets is the number of gadgets chained together.
+	Gadgets int
+}
+
+// NumNodes returns the number of vertices of the constructed graph.
+func (r *Reduction) NumNodes() int { return r.Graph.N() }
+
+// IsHamiltonian reports whether the constructed graph is a Hamiltonian cycle.
+func (r *Reduction) IsHamiltonian() bool { return r.Graph.IsHamiltonianCycle() }
+
+// CycleCount returns the number of disjoint cycles the construction
+// decomposes into (every vertex has degree 2, so the graph is a disjoint
+// union of cycles).
+func (r *Reduction) CycleCount() int {
+	_, comps := r.Graph.ConnectedComponents()
+	return comps
+}
+
+// CarolIsPerfectMatching reports whether Carol's edge set is a perfect
+// matching of the constructed graph (every vertex incident to exactly one
+// Carol edge), as required by Definition 3.3.
+func (r *Reduction) CarolIsPerfectMatching() bool {
+	return isPerfectMatching(r.Graph.N(), r.CarolEdges)
+}
+
+// DavidIsPerfectMatching reports whether David's edge set is a perfect
+// matching of the constructed graph.
+func (r *Reduction) DavidIsPerfectMatching() bool {
+	return isPerfectMatching(r.Graph.N(), r.DavidEdges)
+}
+
+func isPerfectMatching(n int, s *graph.EdgeSet) bool {
+	deg := make([]int, n)
+	for _, p := range s.Pairs() {
+		deg[p[0]]++
+		deg[p[1]]++
+	}
+	for _, d := range deg {
+		if d != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// IPMod3Value returns the value of the IPmod3 function as defined in
+// Section 6: 1 if Σ x_i·y_i ≡ 0 (mod 3) and 0 otherwise.
+func IPMod3Value(x, y []int) (int, error) {
+	if err := checkBits(x, y); err != nil {
+		return 0, err
+	}
+	sum := 0
+	for i := range x {
+		sum += x[i] * y[i]
+	}
+	if sum%3 == 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+func checkBits(x, y []int) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return fmt.Errorf("%w: |x|=%d |y|=%d", ErrLengthMismatch, len(x), len(y))
+	}
+	for i := range x {
+		if x[i] != 0 && x[i] != 1 || y[i] != 0 && y[i] != 1 {
+			return fmt.Errorf("%w: position %d", ErrBadBit, i)
+		}
+	}
+	return nil
+}
+
+// sigma and phi are the two transpositions of S3 whose commutator-style
+// product (φσ)² is the 3-cycle j ↦ j+1; applying σ on Carol's layers and φ
+// on David's layers makes the gadget's track permutation equal to
+// shift^(x_i·y_i), which is Observation 7.1.
+func sigma(j int) int { // (0 1)
+	switch j {
+	case 0:
+		return 1
+	case 1:
+		return 0
+	default:
+		return 2
+	}
+}
+
+func phi(j int) int { // (1 2)
+	switch j {
+	case 1:
+		return 2
+	case 2:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func permPow(p func(int) int, exp int) func(int) int {
+	if exp%2 == 0 {
+		return func(j int) int { return j }
+	}
+	return p
+}
+
+// ipLayout gives deterministic vertex indices for the IPmod3 construction.
+//
+// Gadget i (0-based) owns the boundary triple to its *left* with indices
+// base(i)..base(i)+2 and three internal triples a, b, c. The right boundary
+// of gadget i is the left boundary of gadget i+1; gadget n-1's right
+// boundary wraps onto gadget 0's left boundary (v_0^j = v_n^j in the
+// paper's notation).
+type ipLayout struct{ n int }
+
+func (l ipLayout) base(i int) int     { return i * NodesPerIPGadget }
+func (l ipLayout) left(i, j int) int  { return l.base(i) + j }
+func (l ipLayout) a(i, j int) int     { return l.base(i) + tracksIP + j }
+func (l ipLayout) b(i, j int) int     { return l.base(i) + 2*tracksIP + j }
+func (l ipLayout) c(i, j int) int     { return l.base(i) + 3*tracksIP + j }
+func (l ipLayout) right(i, j int) int { return l.left((i+1)%l.n, j) }
+func (l ipLayout) total() int         { return l.n * NodesPerIPGadget }
+
+// IPMod3ToHam builds the reduction from IPmod3_n to Ham_{12n} (Theorem 3.4,
+// Section 7). Carol's edges depend only on x and David's only on y; each is
+// a perfect matching; and the resulting graph is a Hamiltonian cycle if and
+// only if Σ x_i·y_i mod 3 ≠ 0, i.e. if and only if IPmod3(x,y) = 0.
+func IPMod3ToHam(x, y []int) (*Reduction, error) {
+	if err := checkBits(x, y); err != nil {
+		return nil, err
+	}
+	n := len(x)
+	layout := ipLayout{n: n}
+	g := graph.New(layout.total())
+	carol := graph.NewEdgeSet()
+	david := graph.NewEdgeSet()
+
+	addCarol := func(u, v int) {
+		carol.Add(u, v)
+		g.MustAddEdge(u, v, 1)
+	}
+	addDavid := func(u, v int) {
+		david.Add(u, v)
+		g.MustAddEdge(u, v, 1)
+	}
+
+	for i := 0; i < n; i++ {
+		carolPerm := permPow(sigma, x[i])
+		davidPerm := permPow(phi, y[i])
+		for j := 0; j < tracksIP; j++ {
+			// Carol's layers: left boundary -> a, and b -> c.
+			addCarol(layout.left(i, j), layout.a(i, carolPerm(j)))
+			addCarol(layout.b(i, j), layout.c(i, carolPerm(j)))
+			// David's layers: a -> b, and c -> right boundary.
+			addDavid(layout.a(i, j), layout.b(i, davidPerm(j)))
+			addDavid(layout.c(i, j), layout.right(i, davidPerm(j)))
+		}
+	}
+	return &Reduction{Graph: g, CarolEdges: carol, DavidEdges: david, Gadgets: n}, nil
+}
+
+// IPGadgetTrackPermutation returns, for a single gadget with input bits
+// (xi, yi), the permutation mapping a left-boundary track index j to the
+// right-boundary track index it is connected to — the content of
+// Observation 7.1. The expected value is (j + xi·yi) mod 3.
+func IPGadgetTrackPermutation(xi, yi int) ([3]int, error) {
+	if xi != 0 && xi != 1 || yi != 0 && yi != 1 {
+		return [3]int{}, fmt.Errorf("%w: (%d,%d)", ErrBadBit, xi, yi)
+	}
+	// Follow the three paths of a single gadget built without the
+	// wrap-around identification.
+	return ipGadgetPermutationUnwrapped(xi, yi)
+}
+
+// ipGadgetPermutationUnwrapped rebuilds one gadget without the wrap-around
+// identification and follows its three paths.
+func ipGadgetPermutationUnwrapped(xi, yi int) ([3]int, error) {
+	// Vertices: left 0..2, a 3..5, b 6..8, c 9..11, right 12..14.
+	g := graph.New(15)
+	carolPerm := permPow(sigma, xi)
+	davidPerm := permPow(phi, yi)
+	for j := 0; j < tracksIP; j++ {
+		g.MustAddEdge(j, 3+carolPerm(j), 1)
+		g.MustAddEdge(6+j, 9+carolPerm(j), 1)
+		g.MustAddEdge(3+j, 6+davidPerm(j), 1)
+		g.MustAddEdge(9+j, 12+davidPerm(j), 1)
+	}
+	var out [3]int
+	for j := 0; j < tracksIP; j++ {
+		// Walk from left node j until reaching a right node.
+		prev, cur := -1, j
+		for cur < 12 {
+			next := -1
+			for _, w := range g.Neighbors(cur) {
+				if w != prev {
+					next = w
+					break
+				}
+			}
+			if next == -1 {
+				return out, fmt.Errorf("gadgets: path from track %d dead-ends at %d", j, cur)
+			}
+			prev, cur = cur, next
+		}
+		out[j] = cur - 12
+	}
+	return out, nil
+}

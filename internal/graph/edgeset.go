@@ -1,0 +1,109 @@
+package graph
+
+import "sort"
+
+// edgeKey is a canonical (u<v) key for an undirected edge.
+type edgeKey struct{ u, v int }
+
+func keyOf(u, v int) edgeKey {
+	if u > v {
+		u, v = v, u
+	}
+	return edgeKey{u, v}
+}
+
+// EdgeSet is a set of undirected edges identified by their endpoints.
+// It is the representation used for "subnetwork M of N" inputs to the
+// verification problems of Section 2.2: each node of the distributed network
+// knows which of its incident edges belong to M, and the union of that
+// knowledge is an EdgeSet.
+//
+// The zero value is not usable; construct with NewEdgeSet.
+type EdgeSet struct {
+	members map[edgeKey]struct{}
+}
+
+// NewEdgeSet returns an empty edge set.
+func NewEdgeSet() *EdgeSet {
+	return &EdgeSet{members: make(map[edgeKey]struct{})}
+}
+
+// NewEdgeSetFrom returns an edge set containing the given edges.
+func NewEdgeSetFrom(edges []Edge) *EdgeSet {
+	s := NewEdgeSet()
+	for _, e := range edges {
+		s.Add(e.U, e.V)
+	}
+	return s
+}
+
+// Add inserts the edge {u,v}.
+func (s *EdgeSet) Add(u, v int) { s.members[keyOf(u, v)] = struct{}{} }
+
+// Remove deletes the edge {u,v} if present.
+func (s *EdgeSet) Remove(u, v int) { delete(s.members, keyOf(u, v)) }
+
+// Contains reports whether {u,v} is in the set.
+func (s *EdgeSet) Contains(u, v int) bool {
+	_, ok := s.members[keyOf(u, v)]
+	return ok
+}
+
+// Len returns the number of edges in the set.
+func (s *EdgeSet) Len() int { return len(s.members) }
+
+// Pairs returns the edges as (u,v) pairs with u < v, sorted.
+func (s *EdgeSet) Pairs() [][2]int {
+	out := make([][2]int, 0, len(s.members))
+	for k := range s.members {
+		out = append(out, [2]int{k.u, k.v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Clone returns a deep copy of the set.
+func (s *EdgeSet) Clone() *EdgeSet {
+	out := NewEdgeSet()
+	for k := range s.members {
+		out.members[k] = struct{}{}
+	}
+	return out
+}
+
+// Union adds every edge of other to s and returns s.
+func (s *EdgeSet) Union(other *EdgeSet) *EdgeSet {
+	for k := range other.members {
+		s.members[k] = struct{}{}
+	}
+	return s
+}
+
+// Subgraph returns the subgraph of g induced by the edges of s that exist
+// in g, preserving weights. Vertices are shared with g (same indices).
+func (s *EdgeSet) Subgraph(g *Graph) *Graph {
+	out := New(g.N())
+	for _, e := range g.Edges() {
+		if s.Contains(e.U, e.V) {
+			out.MustAddEdge(e.U, e.V, e.Weight)
+		}
+	}
+	return out
+}
+
+// SubgraphOf builds the subgraph of g whose edge set is exactly those edges
+// of g selected by keep. It is a convenience wrapper used by generators.
+func SubgraphOf(g *Graph, keep func(Edge) bool) *Graph {
+	out := New(g.N())
+	for _, e := range g.Edges() {
+		if keep(e) {
+			out.MustAddEdge(e.U, e.V, e.Weight)
+		}
+	}
+	return out
+}

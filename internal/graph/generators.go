@@ -1,0 +1,237 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Path returns the path graph v0-v1-...-v(n-1) with unit weights.
+func Path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1, 1)
+	}
+	return g
+}
+
+// Cycle returns the cycle graph on n >= 3 vertices with unit weights.
+func Cycle(n int) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("graph: cycle requires n >= 3, got %d", n)
+	}
+	g := Path(n)
+	g.MustAddEdge(n-1, 0, 1)
+	return g, nil
+}
+
+// Complete returns the complete graph K_n with unit weights.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.MustAddEdge(u, v, 1)
+		}
+	}
+	return g
+}
+
+// Star returns the star graph with centre 0 and n-1 leaves, unit weights.
+func Star(n int) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(0, v, 1)
+	}
+	return g
+}
+
+// Grid returns the rows x cols grid graph with unit weights. Vertex (r,c)
+// has index r*cols+c.
+func Grid(rows, cols int) *Graph {
+	g := New(rows * cols)
+	idx := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.MustAddEdge(idx(r, c), idx(r, c+1), 1)
+			}
+			if r+1 < rows {
+				g.MustAddEdge(idx(r, c), idx(r+1, c), 1)
+			}
+		}
+	}
+	return g
+}
+
+// RandomGraph returns an Erdős–Rényi G(n,p) graph with unit weights, using
+// rng for reproducibility.
+func RandomGraph(n int, p float64, rng *rand.Rand) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.MustAddEdge(u, v, 1)
+			}
+		}
+	}
+	return g
+}
+
+// RandomConnectedGraph returns a connected graph on n vertices: a uniformly
+// random spanning tree (via random attachment) plus each remaining pair
+// independently with probability p. Unit weights.
+func RandomConnectedGraph(n int, p float64, rng *rand.Rand) *Graph {
+	g := New(n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		u := perm[i]
+		v := perm[rng.Intn(i)]
+		g.MustAddEdge(u, v, 1)
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !g.HasEdge(u, v) && rng.Float64() < p {
+				g.MustAddEdge(u, v, 1)
+			}
+		}
+	}
+	return g
+}
+
+// RandomSpanningTree returns a uniformly grown random tree on n vertices
+// with unit weights (random attachment model, not uniform over all trees,
+// which is sufficient for workload generation).
+func RandomSpanningTree(n int, rng *rand.Rand) *Graph {
+	return RandomConnectedGraph(n, 0, rng)
+}
+
+// AssignRandomWeights returns a copy of g whose edge weights are drawn
+// uniformly from [1, maxWeight], so the aspect ratio is at most maxWeight.
+// maxWeight must be >= 1.
+func AssignRandomWeights(g *Graph, maxWeight float64, rng *rand.Rand) (*Graph, error) {
+	if maxWeight < 1 {
+		return nil, fmt.Errorf("graph: maxWeight must be >= 1, got %g", maxWeight)
+	}
+	out := New(g.N())
+	for _, e := range g.Edges() {
+		w := 1 + rng.Float64()*(maxWeight-1)
+		out.MustAddEdge(e.U, e.V, w)
+	}
+	return out, nil
+}
+
+// PerfectMatching interprets pairs as a perfect matching on vertices
+// 0..2k-1 and returns it as a unit-weight graph on n vertices. It returns an
+// error if any vertex appears more than once or is out of range.
+func PerfectMatching(n int, pairs [][2]int) (*Graph, error) {
+	g := New(n)
+	seen := make([]bool, n)
+	for _, p := range pairs {
+		u, v := p[0], p[1]
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return nil, fmt.Errorf("%w: pair (%d,%d)", ErrVertexOutOfRange, u, v)
+		}
+		if seen[u] || seen[v] {
+			return nil, fmt.Errorf("graph: vertex reused in matching: (%d,%d)", u, v)
+		}
+		seen[u], seen[v] = true, true
+		if err := g.AddEdge(u, v, 1); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// RandomPerfectMatchingPairs returns a uniformly random perfect matching on
+// vertices 0..n-1 as a list of pairs. n must be even.
+func RandomPerfectMatchingPairs(n int, rng *rand.Rand) ([][2]int, error) {
+	if n%2 != 0 {
+		return nil, fmt.Errorf("graph: perfect matching needs even n, got %d", n)
+	}
+	perm := rng.Perm(n)
+	pairs := make([][2]int, 0, n/2)
+	for i := 0; i < n; i += 2 {
+		pairs = append(pairs, [2]int{perm[i], perm[i+1]})
+	}
+	return pairs, nil
+}
+
+// CyclePairings returns two perfect matchings E_C and E_D on vertices
+// 0..n-1 (n even) whose union is a single Hamiltonian cycle
+// 0-1-2-...-(n-1)-0: E_C = {(0,1),(2,3),...} and E_D = {(1,2),(3,4),...,(n-1,0)}.
+// This is the canonical 1-input for the server-model Ham problem.
+func CyclePairings(n int) (ec, ed [][2]int, err error) {
+	if n < 4 || n%2 != 0 {
+		return nil, nil, fmt.Errorf("graph: cycle pairing needs even n >= 4, got %d", n)
+	}
+	for i := 0; i < n; i += 2 {
+		ec = append(ec, [2]int{i, i + 1})
+		ed = append(ed, [2]int{i + 1, (i + 2) % n})
+	}
+	return ec, ed, nil
+}
+
+// KCyclePairings returns two perfect matchings on vertices 0..n-1 whose
+// union consists of exactly k disjoint cycles. It requires n even, k >= 1,
+// and n >= 4k (each cycle needs at least 4 vertices so that both matchings
+// contribute at least two edges to it).
+func KCyclePairings(n, k int) (ec, ed [][2]int, err error) {
+	if n%2 != 0 || k < 1 || n < 4*k {
+		return nil, nil, fmt.Errorf("graph: k-cycle pairing needs even n >= 4k, got n=%d k=%d", n, k)
+	}
+	// Split vertices into k consecutive groups of even size >= 4.
+	sizes := make([]int, k)
+	base := n / (2 * k) * 2 // even base size
+	rem := n - base*k
+	for i := range sizes {
+		sizes[i] = base
+	}
+	for i := 0; rem > 0; i = (i + 1) % k {
+		sizes[i] += 2
+		rem -= 2
+	}
+	start := 0
+	for _, size := range sizes {
+		vs := make([]int, size)
+		for i := range vs {
+			vs[i] = start + i
+		}
+		for i := 0; i < size; i += 2 {
+			ec = append(ec, [2]int{vs[i], vs[i+1]})
+			ed = append(ed, [2]int{vs[i+1], vs[(i+2)%size]})
+		}
+		start += size
+	}
+	return ec, ed, nil
+}
+
+// TwoCyclePairings returns two perfect matchings whose union consists of
+// exactly two disjoint cycles (a 0-input for the Ham problem). n must be
+// even and >= 8.
+func TwoCyclePairings(n int) (ec, ed [][2]int, err error) {
+	if n < 8 || n%2 != 0 {
+		return nil, nil, fmt.Errorf("graph: two-cycle pairing needs even n >= 8, got %d", n)
+	}
+	half := n / 2
+	if half%2 != 0 {
+		half++ // keep both cycles even-length
+	}
+	cycle := func(vs []int) (c, d [][2]int) {
+		k := len(vs)
+		for i := 0; i < k; i += 2 {
+			c = append(c, [2]int{vs[i], vs[i+1]})
+			d = append(d, [2]int{vs[i+1], vs[(i+2)%k]})
+		}
+		return c, d
+	}
+	first := make([]int, half)
+	for i := range first {
+		first[i] = i
+	}
+	second := make([]int, n-half)
+	for i := range second {
+		second[i] = half + i
+	}
+	c1, d1 := cycle(first)
+	c2, d2 := cycle(second)
+	return append(c1, c2...), append(d1, d2...), nil
+}

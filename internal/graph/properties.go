@@ -1,0 +1,350 @@
+package graph
+
+import (
+	"math"
+	"sort"
+)
+
+// BFSResult holds the outcome of a breadth-first search from a source.
+type BFSResult struct {
+	Source int
+	// Dist[v] is the hop distance from Source to v, or -1 if unreachable.
+	Dist []int
+	// Parent[v] is the BFS-tree parent of v, or -1 for the source and for
+	// unreachable vertices.
+	Parent []int
+	// Order lists reachable vertices in non-decreasing distance order.
+	Order []int
+}
+
+// BFS runs a breadth-first search from src over hop distances (weights are
+// ignored). It panics only if src is out of range via index bounds.
+func (g *Graph) BFS(src int) BFSResult {
+	res := BFSResult{
+		Source: src,
+		Dist:   make([]int, g.n),
+		Parent: make([]int, g.n),
+	}
+	for i := range res.Dist {
+		res.Dist[i] = -1
+		res.Parent[i] = -1
+	}
+	res.Dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		res.Order = append(res.Order, u)
+		for _, w := range g.Neighbors(u) {
+			if res.Dist[w] == -1 {
+				res.Dist[w] = res.Dist[u] + 1
+				res.Parent[w] = u
+				queue = append(queue, w)
+			}
+		}
+	}
+	return res
+}
+
+// Eccentricity returns the maximum hop distance from v to any reachable
+// vertex. It returns -1 if v is out of range.
+func (g *Graph) Eccentricity(v int) int {
+	if v < 0 || v >= g.n {
+		return -1
+	}
+	res := g.BFS(v)
+	ecc := 0
+	for _, d := range res.Dist {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the hop diameter of the graph (the maximum eccentricity
+// over all vertices). It returns -1 for a disconnected or empty graph.
+// This is an exact O(n·(n+m)) computation intended for test-sized graphs.
+func (g *Graph) Diameter() int {
+	if g.n == 0 || !g.IsConnected() {
+		return -1
+	}
+	diam := 0
+	for v := 0; v < g.n; v++ {
+		if e := g.Eccentricity(v); e > diam {
+			diam = e
+		}
+	}
+	return diam
+}
+
+// DiameterLowerBoundFrom returns the eccentricity of v, which is a lower
+// bound for the diameter, and is within a factor 2 of it on connected
+// graphs. It is the cheap estimate used on large instances.
+func (g *Graph) DiameterLowerBoundFrom(v int) int { return g.Eccentricity(v) }
+
+// ConnectedComponents returns, for each vertex, the index of its connected
+// component (components are numbered 0,1,... in order of smallest member),
+// together with the number of components.
+func (g *Graph) ConnectedComponents() (comp []int, count int) {
+	comp = make([]int, g.n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	for v := 0; v < g.n; v++ {
+		if comp[v] != -1 {
+			continue
+		}
+		res := g.BFS(v)
+		for _, u := range res.Order {
+			comp[u] = count
+		}
+		count++
+	}
+	return comp, count
+}
+
+// IsConnected reports whether the graph is connected. The empty graph is
+// considered connected; a graph with isolated vertices is not (unless n<=1).
+func (g *Graph) IsConnected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	_, c := g.ConnectedComponents()
+	return c == 1
+}
+
+// IsSpanningTree reports whether the graph (interpreted as the subnetwork M)
+// is a spanning tree of an n-vertex network: connected with exactly n-1
+// edges touching every vertex.
+func (g *Graph) IsSpanningTree() bool {
+	return g.n > 0 && g.m == g.n-1 && g.IsConnected()
+}
+
+// IsHamiltonianCycle reports whether the graph is a single simple cycle
+// through all n vertices: every vertex has degree exactly 2, the graph is
+// connected, and it has exactly n edges (n >= 3).
+func (g *Graph) IsHamiltonianCycle() bool {
+	if g.n < 3 || g.m != g.n {
+		return false
+	}
+	for v := 0; v < g.n; v++ {
+		if g.Degree(v) != 2 {
+			return false
+		}
+	}
+	return g.IsConnected()
+}
+
+// IsSimplePath reports whether the graph is a single simple path covering a
+// subset of vertices: no cycles, at most two vertices of degree 1, all other
+// non-isolated vertices of degree 2, and all non-isolated vertices connected.
+func (g *Graph) IsSimplePath() bool {
+	deg1, deg2 := 0, 0
+	nonIsolated := 0
+	for v := 0; v < g.n; v++ {
+		switch g.Degree(v) {
+		case 0:
+		case 1:
+			deg1++
+			nonIsolated++
+		case 2:
+			deg2++
+			nonIsolated++
+		default:
+			return false
+		}
+	}
+	if nonIsolated == 0 {
+		return true
+	}
+	if deg1 != 2 {
+		return false
+	}
+	if g.m != nonIsolated-1 {
+		return false
+	}
+	// Connectivity of the non-isolated part: a forest with nonIsolated
+	// vertices and nonIsolated-1 edges is connected.
+	return !g.HasCycle()
+}
+
+// HasCycle reports whether the graph contains any cycle.
+func (g *Graph) HasCycle() bool {
+	uf := NewUnionFind(g.n)
+	for _, e := range g.Edges() {
+		if !uf.Union(e.U, e.V) {
+			return true
+		}
+	}
+	return false
+}
+
+// CountCycles returns the number of connected components that contain at
+// least one cycle. For a graph in which every vertex has degree 0 or 2 (the
+// shape produced by the union of two perfect matchings, Observation 8.1),
+// this equals the number of disjoint cycles.
+func (g *Graph) CountCycles() int {
+	comp, count := g.ConnectedComponents()
+	edges := make([]int, count)
+	verts := make([]int, count)
+	for v := 0; v < g.n; v++ {
+		verts[comp[v]]++
+	}
+	for _, e := range g.Edges() {
+		edges[comp[e.U]]++
+	}
+	cycles := 0
+	for c := 0; c < count; c++ {
+		if edges[c] >= verts[c] && verts[c] > 0 {
+			cycles++
+		}
+	}
+	return cycles
+}
+
+// IsBipartite reports whether the graph is 2-colourable, and returns a valid
+// colouring (colour of each vertex in {0,1}) when it is.
+func (g *Graph) IsBipartite() (bool, []int) {
+	color := make([]int, g.n)
+	for i := range color {
+		color[i] = -1
+	}
+	for s := 0; s < g.n; s++ {
+		if color[s] != -1 {
+			continue
+		}
+		color[s] = 0
+		queue := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, w := range g.Neighbors(u) {
+				if color[w] == -1 {
+					color[w] = 1 - color[u]
+					queue = append(queue, w)
+				} else if color[w] == color[u] {
+					return false, nil
+				}
+			}
+		}
+	}
+	return true, color
+}
+
+// STConnected reports whether s and t lie in the same connected component.
+func (g *Graph) STConnected(s, t int) bool {
+	if s < 0 || s >= g.n || t < 0 || t >= g.n {
+		return false
+	}
+	if s == t {
+		return true
+	}
+	return g.BFS(s).Dist[t] >= 0
+}
+
+// IsCutOf reports whether removing the edges of g (interpreted as a
+// candidate cut M) from the host graph disconnects the host.
+func (g *Graph) IsCutOf(host *Graph) bool {
+	remaining := SubgraphOf(host, func(e Edge) bool { return !g.HasEdge(e.U, e.V) })
+	return !remaining.IsConnected()
+}
+
+// IsSTCutOf reports whether removing the edges of g from host disconnects
+// s from t.
+func (g *Graph) IsSTCutOf(host *Graph, s, t int) bool {
+	remaining := SubgraphOf(host, func(e Edge) bool { return !g.HasEdge(e.U, e.V) })
+	return !remaining.STConnected(s, t)
+}
+
+// KruskalMST returns a minimum spanning forest of the graph as an edge list
+// and its total weight. When the graph is connected, the forest is the MST.
+// This is the sequential reference implementation used to validate the
+// distributed MST algorithms.
+func (g *Graph) KruskalMST() ([]Edge, float64) {
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool { return edges[i].Weight < edges[j].Weight })
+	uf := NewUnionFind(g.n)
+	var out []Edge
+	var total float64
+	for _, e := range edges {
+		if uf.Union(e.U, e.V) {
+			out = append(out, e)
+			total += e.Weight
+		}
+	}
+	return out, total
+}
+
+// WeightedDistances runs Dijkstra from src and returns weighted distances
+// (math.Inf(1) for unreachable vertices). It is the sequential reference for
+// the distributed shortest-path algorithms.
+func (g *Graph) WeightedDistances(src int) []float64 {
+	dist := make([]float64, g.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	if src < 0 || src >= g.n {
+		return dist
+	}
+	dist[src] = 0
+	visited := make([]bool, g.n)
+	for {
+		u, best := -1, math.Inf(1)
+		for v := 0; v < g.n; v++ {
+			if !visited[v] && dist[v] < best {
+				u, best = v, dist[v]
+			}
+		}
+		if u == -1 {
+			break
+		}
+		visited[u] = true
+		for _, e := range g.adj[u] {
+			w := e.Other(u)
+			if nd := dist[u] + e.Weight; nd < dist[w] {
+				dist[w] = nd
+			}
+		}
+	}
+	return dist
+}
+
+// MinCutWeightBruteForce computes the exact minimum weight of a global edge
+// cut by enumerating all 2^(n-1) vertex bipartitions. It is exponential and
+// intended only for validating the distributed approximation on small graphs
+// (n <= ~20).
+func (g *Graph) MinCutWeightBruteForce() float64 {
+	if g.n < 2 {
+		return 0
+	}
+	edges := g.Edges()
+	best := math.Inf(1)
+	// Vertex 0 is fixed on side 0; enumerate assignments of vertices 1..n-1.
+	for mask := 0; mask < 1<<(g.n-1); mask++ {
+		side := make([]bool, g.n)
+		for v := 1; v < g.n; v++ {
+			side[v] = mask&(1<<(v-1)) != 0
+		}
+		any := false
+		for v := 1; v < g.n; v++ {
+			if side[v] {
+				any = true
+				break
+			}
+		}
+		if !any {
+			continue // not a cut: all vertices on one side
+		}
+		var w float64
+		for _, e := range edges {
+			if side[e.U] != side[e.V] {
+				w += e.Weight
+			}
+		}
+		if w < best {
+			best = w
+		}
+	}
+	return best
+}

@@ -1,0 +1,57 @@
+package graph
+
+// UnionFind is a disjoint-set forest with union by rank and path
+// compression. It is used by the Kruskal reference MST, by the fragment
+// bookkeeping of the distributed MST algorithms, and by cycle counting in
+// the gadget verifiers.
+type UnionFind struct {
+	parent []int
+	rank   []int
+	comps  int
+}
+
+// NewUnionFind returns a union-find structure over n singleton elements.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{
+		parent: make([]int, n),
+		rank:   make([]int, n),
+		comps:  n,
+	}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+// Find returns the representative of x's set.
+func (uf *UnionFind) Find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]] // path halving
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets containing x and y. It returns true if the sets
+// were distinct (i.e. a merge actually happened).
+func (uf *UnionFind) Union(x, y int) bool {
+	rx, ry := uf.Find(x), uf.Find(y)
+	if rx == ry {
+		return false
+	}
+	if uf.rank[rx] < uf.rank[ry] {
+		rx, ry = ry, rx
+	}
+	uf.parent[ry] = rx
+	if uf.rank[rx] == uf.rank[ry] {
+		uf.rank[rx]++
+	}
+	uf.comps--
+	return true
+}
+
+// Connected reports whether x and y are in the same set.
+func (uf *UnionFind) Connected(x, y int) bool { return uf.Find(x) == uf.Find(y) }
+
+// Components returns the current number of disjoint sets.
+func (uf *UnionFind) Components() int { return uf.comps }

@@ -1,0 +1,143 @@
+package lbnetwork
+
+import (
+	"fmt"
+
+	"qdc/internal/graph"
+)
+
+// Embedding is a server-model graph instance G = (U, E_C ∪ E_D) embedded as
+// a subnetwork M of the lower-bound network N (Section 8 / Appendix D.2).
+type Embedding struct {
+	// InputGraph is the Γ+k-vertex server-model input graph G.
+	InputGraph *graph.Graph
+	// M is the embedded subnetwork of N: every path and highway edge, plus
+	// the left-clique edges selected by E_C and the right-clique edges
+	// selected by E_D.
+	M *graph.EdgeSet
+	// MGraph is M materialised as a graph on N's vertex set.
+	MGraph *graph.Graph
+	// CarolEdges and DavidEdges are the clique edges of M contributed by
+	// E_C and E_D respectively.
+	CarolEdges, DavidEdges *graph.EdgeSet
+}
+
+// Embed builds the subnetwork M of N corresponding to the server-model
+// input (E_C, E_D): Carol marks left-clique edge (v^i_1, v^j_1) iff
+// (u_i, u_j) ∈ E_C, David marks the corresponding right-clique edges, and
+// the server marks every path and highway edge. The matchings must be
+// perfect matchings on the Γ+k endpoint indices 0..Γ+k−1.
+func (nw *Network) Embed(ec, ed [][2]int) (*Embedding, error) {
+	u := nw.EndpointCount()
+	for _, m := range [][][2]int{ec, ed} {
+		if err := checkPerfectMatching(u, m); err != nil {
+			return nil, err
+		}
+	}
+
+	inputGraph := graph.New(u)
+	for _, p := range ec {
+		if err := inputGraph.AddEdge(p[0], p[1], 1); err != nil {
+			return nil, fmt.Errorf("%w: E_C edge (%d,%d): %v", ErrBadMatching, p[0], p[1], err)
+		}
+	}
+	for _, p := range ed {
+		// E_C and E_D may share an edge (a 2-cycle in G); M still contains
+		// the corresponding left and right clique edges separately.
+		if !inputGraph.HasEdge(p[0], p[1]) {
+			if err := inputGraph.AddEdge(p[0], p[1], 1); err != nil {
+				return nil, fmt.Errorf("%w: E_D edge (%d,%d): %v", ErrBadMatching, p[0], p[1], err)
+			}
+		}
+	}
+
+	m := graph.NewEdgeSet()
+	carol := graph.NewEdgeSet()
+	david := graph.NewEdgeSet()
+
+	// Server: every path and highway edge.
+	for p := 0; p < nw.Gamma; p++ {
+		for j := 0; j+1 < nw.L; j++ {
+			m.Add(nw.pathNodes[p][j], nw.pathNodes[p][j+1])
+		}
+	}
+	for h := 0; h < nw.K; h++ {
+		nodes := nw.highwayNodes[h]
+		for idx := 0; idx+1 < len(nodes); idx++ {
+			m.Add(nodes[idx], nodes[idx+1])
+		}
+	}
+
+	// Carol: left-clique edges selected by E_C.
+	left := nw.LeftEndpoints()
+	for _, p := range ec {
+		carol.Add(left[p[0]], left[p[1]])
+		m.Add(left[p[0]], left[p[1]])
+	}
+	// David: right-clique edges selected by E_D.
+	right := nw.RightEndpoints()
+	for _, p := range ed {
+		david.Add(right[p[0]], right[p[1]])
+		m.Add(right[p[0]], right[p[1]])
+	}
+
+	return &Embedding{
+		InputGraph: inputGraph,
+		M:          m,
+		MGraph:     m.Subgraph(nw.Graph),
+		CarolEdges: carol,
+		DavidEdges: david,
+	}, nil
+}
+
+func checkPerfectMatching(n int, pairs [][2]int) error {
+	if len(pairs)*2 != n {
+		return fmt.Errorf("%w: %d pairs for %d vertices", ErrBadMatching, len(pairs), n)
+	}
+	seen := make([]bool, n)
+	for _, p := range pairs {
+		if p[0] < 0 || p[0] >= n || p[1] < 0 || p[1] >= n || p[0] == p[1] {
+			return fmt.Errorf("%w: pair (%d,%d)", ErrBadMatching, p[0], p[1])
+		}
+		if seen[p[0]] || seen[p[1]] {
+			return fmt.Errorf("%w: vertex reused in pair (%d,%d)", ErrBadMatching, p[0], p[1])
+		}
+		seen[p[0]], seen[p[1]] = true, true
+	}
+	return nil
+}
+
+// InputCycleCount returns the number of cycles of the server-model input
+// graph G (the union of the two perfect matchings).
+func (e *Embedding) InputCycleCount() int {
+	_, c := e.InputGraph.ConnectedComponents()
+	return c
+}
+
+// MCycleCount returns the number of cycles of the embedded subnetwork M.
+// Observation 8.1 states that it always equals InputCycleCount.
+func (e *Embedding) MCycleCount() int {
+	// Restrict to vertices touched by M (all of them are, but keep the
+	// computation on the materialised subgraph).
+	_, c := e.MGraph.ConnectedComponents()
+	// Components that are isolated vertices (none in this construction)
+	// would not be cycles; count only components that contain an edge.
+	isolated := 0
+	for v := 0; v < e.MGraph.N(); v++ {
+		if e.MGraph.Degree(v) == 0 {
+			isolated++
+		}
+	}
+	return c - isolated
+}
+
+// InputIsHamiltonian reports whether G is a single Hamiltonian cycle.
+func (e *Embedding) InputIsHamiltonian() bool { return e.InputGraph.IsHamiltonianCycle() }
+
+// MIsHamiltonian reports whether M is a Hamiltonian cycle of N (covers every
+// vertex of N). By Observation D.3 this holds iff G is a Hamiltonian cycle.
+func (e *Embedding) MIsHamiltonian() bool { return e.MGraph.IsHamiltonianCycle() }
+
+// MIsConnected reports whether M is connected (the property used by the
+// gap-connectivity / MST argument of Theorem 3.8).
+func (e *Embedding) MIsConnected() bool { return e.MGraph.IsConnected() }

@@ -1,0 +1,123 @@
+package nonlocal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"qdc/internal/quantum"
+)
+
+// AngleStrategy is an entangled strategy for a binary-input XOR game in
+// which the players share one EPR pair and each measures their half in a
+// rotated basis whose angle depends on their input.
+type AngleStrategy struct {
+	// AliceAngles[x] and BobAngles[y] are measurement angles in radians.
+	AliceAngles, BobAngles []float64
+}
+
+// EntangledWinProbability returns the exact winning probability of the
+// angle strategy, computed from the shared EPR state on the state-vector
+// simulator (no sampling).
+func (g *Game) EntangledWinProbability(s AngleStrategy) (float64, error) {
+	if err := g.Validate(); err != nil {
+		return 0, err
+	}
+	if len(s.AliceAngles) != g.XSize || len(s.BobAngles) != g.YSize {
+		return 0, fmt.Errorf("%w: angle tables have sizes %d,%d", ErrBadStrategy, len(s.AliceAngles), len(s.BobAngles))
+	}
+	win := 0.0
+	for x := 0; x < g.XSize; x++ {
+		for y := 0; y < g.YSize; y++ {
+			if g.Prob[x][y] == 0 {
+				continue
+			}
+			joint, err := jointRotatedProbabilities(s.AliceAngles[x], s.BobAngles[y])
+			if err != nil {
+				return 0, err
+			}
+			for a := 0; a <= 1; a++ {
+				for b := 0; b <= 1; b++ {
+					if g.wins(a, b, x, y) {
+						win += g.Prob[x][y] * joint[a][b]
+					}
+				}
+			}
+		}
+	}
+	return win, nil
+}
+
+// jointRotatedProbabilities returns the joint outcome distribution when the
+// two halves of an EPR pair are measured in bases rotated by thetaA and
+// thetaB about the Y axis.
+func jointRotatedProbabilities(thetaA, thetaB float64) ([2][2]float64, error) {
+	var out [2][2]float64
+	pair, err := quantum.BellPair(rand.New(rand.NewSource(1)))
+	if err != nil {
+		return out, err
+	}
+	if err := pair.Ry(0, -2*thetaA); err != nil {
+		return out, err
+	}
+	if err := pair.Ry(1, -2*thetaB); err != nil {
+		return out, err
+	}
+	for basis := 0; basis < 4; basis++ {
+		a := basis & 1
+		b := (basis >> 1) & 1
+		out[a][b] += pair.Probability(basis)
+	}
+	return out, nil
+}
+
+// CHSHQuantumValue is the Tsirelson bound cos²(π/8) ≈ 0.8536, the optimal
+// entangled winning probability of the CHSH game.
+var CHSHQuantumValue = math.Pow(math.Cos(math.Pi/8), 2)
+
+// CHSHClassicalValue is the optimal classical winning probability 3/4.
+const CHSHClassicalValue = 0.75
+
+// NewCHSH returns the CHSH game: uniform inputs x, y ∈ {0,1}, predicate
+// f(x,y) = x∧y, XOR combining rule.
+func NewCHSH() *Game {
+	return &Game{
+		XSize:   2,
+		YSize:   2,
+		Prob:    [][]float64{{0.25, 0.25}, {0.25, 0.25}},
+		F:       func(x, y int) int { return x & y },
+		Combine: XOR,
+	}
+}
+
+// CHSHOptimalStrategy returns the standard optimal entangled strategy for
+// CHSH: Alice measures at angles {0, π/4}, Bob at {π/8, −π/8}.
+func CHSHOptimalStrategy() AngleStrategy {
+	return AngleStrategy{
+		AliceAngles: []float64{0, math.Pi / 4},
+		BobAngles:   []float64{math.Pi / 8, -math.Pi / 8},
+	}
+}
+
+// SampleEntangledPlay plays one round of a binary XOR game with the angle
+// strategy using fresh entanglement and real measurements, returning the
+// players' answers. It is used by tests to confirm that the exact
+// probabilities are also what sampled play produces.
+func SampleEntangledPlay(s AngleStrategy, x, y int, rng *rand.Rand) (a, b int, err error) {
+	if x < 0 || x >= len(s.AliceAngles) || y < 0 || y >= len(s.BobAngles) {
+		return 0, 0, fmt.Errorf("%w: input (%d,%d) out of range", ErrBadStrategy, x, y)
+	}
+	pair, err := quantum.BellPair(rng)
+	if err != nil {
+		return 0, 0, err
+	}
+	a, err = pair.MeasureInRotatedBasis(0, s.AliceAngles[x])
+	if err != nil {
+		return 0, 0, err
+	}
+	b, err = pair.MeasureInRotatedBasis(1, s.BobAngles[y])
+	if err != nil {
+		return 0, 0, err
+	}
+	return a, b, nil
+}

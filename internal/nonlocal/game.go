@@ -1,0 +1,174 @@
+// Package nonlocal implements two-player nonlocal games (Section 6 and
+// Appendix B.1 of the paper): XOR games and AND games, their classical and
+// entangled values, the CHSH game as the canonical example, and the
+// conversion of Lemma 3.2 that turns an efficient server-model protocol into
+// a game strategy with a quantifiable winning probability — the bridge that
+// carries two-party hardness into the Server model.
+package nonlocal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Combiner is the referee's rule for combining the players' answer bits.
+type Combiner int
+
+// Supported combiners.
+const (
+	// XOR: the players win when a ⊕ b = f(x, y).
+	XOR Combiner = iota + 1
+	// AND: the players win when a ∧ b = f(x, y).
+	AND
+)
+
+// String implements fmt.Stringer.
+func (c Combiner) String() string {
+	switch c {
+	case XOR:
+		return "XOR"
+	case AND:
+		return "AND"
+	default:
+		return fmt.Sprintf("Combiner(%d)", int(c))
+	}
+}
+
+// Errors returned by game constructors and evaluators.
+var (
+	// ErrBadGame reports an inconsistent game description.
+	ErrBadGame = errors.New("nonlocal: malformed game")
+	// ErrBadStrategy reports a strategy incompatible with the game.
+	ErrBadStrategy = errors.New("nonlocal: malformed strategy")
+)
+
+// Game is a two-player nonlocal game: the referee draws (x, y) from the
+// distribution Prob, sends x to Alice and y to Bob, receives one bit from
+// each, and declares a win when combine(a, b) = F(x, y).
+type Game struct {
+	// XSize and YSize are the numbers of possible inputs for Alice and Bob.
+	XSize, YSize int
+	// Prob[x][y] is the referee's input distribution π(x, y); it must sum
+	// to 1.
+	Prob [][]float64
+	// F is the target predicate f(x, y) ∈ {0, 1}.
+	F func(x, y int) int
+	// Combine is the referee's combining rule.
+	Combine Combiner
+}
+
+// Validate checks that the game description is consistent.
+func (g *Game) Validate() error {
+	if g == nil || g.XSize <= 0 || g.YSize <= 0 || g.F == nil {
+		return fmt.Errorf("%w: empty domain or predicate", ErrBadGame)
+	}
+	if g.Combine != XOR && g.Combine != AND {
+		return fmt.Errorf("%w: unknown combiner", ErrBadGame)
+	}
+	if len(g.Prob) != g.XSize {
+		return fmt.Errorf("%w: distribution has %d rows, want %d", ErrBadGame, len(g.Prob), g.XSize)
+	}
+	total := 0.0
+	for x := range g.Prob {
+		if len(g.Prob[x]) != g.YSize {
+			return fmt.Errorf("%w: row %d has %d columns, want %d", ErrBadGame, x, len(g.Prob[x]), g.YSize)
+		}
+		for y := range g.Prob[x] {
+			if g.Prob[x][y] < 0 {
+				return fmt.Errorf("%w: negative probability at (%d,%d)", ErrBadGame, x, y)
+			}
+			total += g.Prob[x][y]
+		}
+	}
+	if math.Abs(total-1) > 1e-9 {
+		return fmt.Errorf("%w: distribution sums to %g", ErrBadGame, total)
+	}
+	return nil
+}
+
+func (g *Game) wins(a, b, x, y int) bool {
+	var out int
+	switch g.Combine {
+	case XOR:
+		out = a ^ b
+	case AND:
+		out = a & b
+	default:
+		return false
+	}
+	return out == g.F(x, y)
+}
+
+// DeterministicStrategy is a pair of deterministic answer functions
+// (tables indexed by the input).
+type DeterministicStrategy struct {
+	// AliceAnswers[x] and BobAnswers[y] are the bits the players output.
+	AliceAnswers, BobAnswers []int
+}
+
+// WinProbability returns the winning probability of a deterministic
+// strategy under the game's input distribution.
+func (g *Game) WinProbability(s DeterministicStrategy) (float64, error) {
+	if err := g.Validate(); err != nil {
+		return 0, err
+	}
+	if len(s.AliceAnswers) != g.XSize || len(s.BobAnswers) != g.YSize {
+		return 0, fmt.Errorf("%w: answer tables have sizes %d,%d", ErrBadStrategy, len(s.AliceAnswers), len(s.BobAnswers))
+	}
+	p := 0.0
+	for x := 0; x < g.XSize; x++ {
+		for y := 0; y < g.YSize; y++ {
+			if g.wins(s.AliceAnswers[x]&1, s.BobAnswers[y]&1, x, y) {
+				p += g.Prob[x][y]
+			}
+		}
+	}
+	return p, nil
+}
+
+// ClassicalValue returns the maximum winning probability over all classical
+// strategies. Because the optimum of a linear objective over product
+// strategies is attained at a deterministic strategy, it suffices to
+// enumerate the 2^(XSize+YSize) deterministic strategies; the game domains
+// used in this repository are tiny.
+func (g *Game) ClassicalValue() (float64, DeterministicStrategy, error) {
+	if err := g.Validate(); err != nil {
+		return 0, DeterministicStrategy{}, err
+	}
+	if g.XSize+g.YSize > 24 {
+		return 0, DeterministicStrategy{}, fmt.Errorf("%w: domain too large for exhaustive search", ErrBadGame)
+	}
+	best := -1.0
+	var bestStrategy DeterministicStrategy
+	for mask := 0; mask < 1<<(g.XSize+g.YSize); mask++ {
+		s := DeterministicStrategy{
+			AliceAnswers: make([]int, g.XSize),
+			BobAnswers:   make([]int, g.YSize),
+		}
+		for x := 0; x < g.XSize; x++ {
+			s.AliceAnswers[x] = (mask >> x) & 1
+		}
+		for y := 0; y < g.YSize; y++ {
+			s.BobAnswers[y] = (mask >> (g.XSize + y)) & 1
+		}
+		p, err := g.WinProbability(s)
+		if err != nil {
+			return 0, DeterministicStrategy{}, err
+		}
+		if p > best {
+			best = p
+			bestStrategy = s
+		}
+	}
+	return best, bestStrategy, nil
+}
+
+// ClassicalBias returns 2·ClassicalValue − 1, the classical bias of the game.
+func (g *Game) ClassicalBias() (float64, error) {
+	v, _, err := g.ClassicalValue()
+	if err != nil {
+		return 0, err
+	}
+	return 2*v - 1, nil
+}

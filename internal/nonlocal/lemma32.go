@@ -1,0 +1,183 @@
+package nonlocal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"qdc/internal/comm"
+)
+
+// This file makes Lemma 3.2 executable: a server-model protocol with small
+// communication yields XOR-game and AND-game strategies whose winning
+// probability exceeds 1/2 (respectively 0) by a margin controlled by the
+// protocol's cost. Contrapositively, nonlocal-game bounds (Linial–Shraibman,
+// Lee–Zhang, Klauck–de Wolf) force the server-model cost to be large, which
+// is how Theorem 6.1 obtains Ω(n) bounds for IPmod3 and Gap-Equality.
+
+// ErrNotServerProtocol reports a conversion applied to a non-server
+// protocol.
+var ErrNotServerProtocol = errors.New("nonlocal: conversion requires a server-model protocol")
+
+// ConversionPrediction carries the closed-form success probabilities of the
+// Lemma 3.2 conversion for a protocol of the given cost and accuracy.
+type ConversionPrediction struct {
+	// GuessProbability is the probability that the game players' guessed
+	// transcript matches the protocol's actual transcript, so that the
+	// simulation does not abort.
+	GuessProbability float64
+	// XORWinProbability is the overall winning probability of the derived
+	// XOR-game strategy: 1/2 + (accuracy − 1/2)·GuessProbability.
+	XORWinProbability float64
+	// ANDAcceptProbability is the accept probability of the derived
+	// AND-game strategy on a 1-input: accuracy·GuessProbability.
+	ANDAcceptProbability float64
+}
+
+// PredictClassical returns the conversion prediction when the protocol's
+// transcript consists of classical bits: each guessed bit matches with
+// probability 1/2, so the no-abort probability is 2^(−bits).
+func PredictClassical(transcriptBits int, accuracy float64) ConversionPrediction {
+	guess := math.Pow(2, -float64(transcriptBits))
+	return predict(guess, accuracy)
+}
+
+// PredictQuantum returns the conversion prediction in the paper's own
+// setting, where the protocol sends T qubits from each of Carol and David
+// and teleportation turns each qubit into two uniformly distributed
+// classical bits: the no-abort probability is 4^(−2T) (Lemma 3.2).
+func PredictQuantum(qubitsPerPlayer int, accuracy float64) ConversionPrediction {
+	guess := math.Pow(4, -2*float64(qubitsPerPlayer))
+	return predict(guess, accuracy)
+}
+
+func predict(guess, accuracy float64) ConversionPrediction {
+	return ConversionPrediction{
+		GuessProbability:     guess,
+		XORWinProbability:    0.5 + (accuracy-0.5)*guess,
+		ANDAcceptProbability: accuracy * guess,
+	}
+}
+
+// MinimumCostForBias inverts the XOR prediction: a strategy achieving bias
+// ε = 2·winProb − 1 over random guessing requires the underlying protocol to
+// have communicated at least log2((accuracy−1/2)/ (ε/2)) ... bits; it
+// returns the number of classical transcript bits needed so that the
+// converted strategy still wins with probability at least winProb. It is the
+// quantity compared against game-theoretic upper bounds on the bias.
+func MinimumCostForBias(winProb, accuracy float64) float64 {
+	if winProb <= 0.5 || accuracy <= 0.5 {
+		return 0
+	}
+	ratio := (accuracy - 0.5) / (winProb - 0.5)
+	if ratio < 1 {
+		return 0
+	}
+	return math.Log2(ratio)
+}
+
+// ConvertedStrategy is the executable Lemma 3.2 strategy: two game players
+// who cannot communicate simulate a server-model protocol by guessing its
+// transcript from shared randomness.
+type ConvertedStrategy struct {
+	// Protocol is the server-model protocol being converted.
+	Protocol comm.Protocol
+	// Combine selects the XOR-game or AND-game variant of the conversion.
+	Combine Combiner
+}
+
+// PlayResult reports one round of the converted game strategy.
+type PlayResult struct {
+	// Aborted reports whether the guessed transcript mismatched (in which
+	// case the XOR strategy answers uniformly at random and the AND
+	// strategy answers 0).
+	Aborted bool
+	// AliceAnswer and BobAnswer are the bits returned to the referee.
+	AliceAnswer, BobAnswer int
+	// RefereeOutput is the combined answer (a⊕b or a∧b).
+	RefereeOutput int
+	// TranscriptBits is the number of Carol/David bits that had to be
+	// guessed.
+	TranscriptBits int
+}
+
+// Play runs one round of the converted strategy on inputs (x, y).
+//
+// The players share (via prior entanglement, modelled as shared randomness)
+// a guessed transcript. They then simulate the protocol locally — Alice
+// playing Carol, Bob playing David, both playing the server — and each
+// aborts if any bit their own character sends disagrees with the guess.
+// Because every transcript bit is matched by an independent uniform guess,
+// the no-abort probability is exactly 2^(−transcript bits), independent of
+// the inputs, which is the quantitative heart of Lemma 3.2.
+func (c ConvertedStrategy) Play(x, y []int, rng *rand.Rand) (*PlayResult, error) {
+	if c.Protocol == nil || c.Protocol.Model() != comm.ModelServer {
+		return nil, ErrNotServerProtocol
+	}
+	if c.Combine != XOR && c.Combine != AND {
+		return nil, fmt.Errorf("%w: combiner %v", ErrBadStrategy, c.Combine)
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	out, transcript, err := c.Protocol.Run(x, y, rng)
+	if err != nil {
+		return nil, fmt.Errorf("nonlocal: running converted protocol: %w", err)
+	}
+	bitsToGuess := transcript.ServerCost()
+	res := &PlayResult{TranscriptBits: bitsToGuess}
+	// Each Carol/David transcript bit is matched by an independent uniform
+	// shared guess.
+	for i := 0; i < bitsToGuess; i++ {
+		if rng.Intn(2) == 1 {
+			res.Aborted = true
+		}
+	}
+	switch {
+	case !res.Aborted:
+		// Alice outputs Carol's (= the protocol's) answer; Bob pads with the
+		// neutral element of the combiner.
+		res.AliceAnswer = out
+		if c.Combine == AND {
+			res.BobAnswer = 1
+		} else {
+			res.BobAnswer = 0
+		}
+	case c.Combine == XOR:
+		res.AliceAnswer = rng.Intn(2)
+		res.BobAnswer = rng.Intn(2)
+	default: // AND abort: answer 0.
+		res.AliceAnswer = 0
+		res.BobAnswer = 0
+	}
+	if c.Combine == XOR {
+		res.RefereeOutput = res.AliceAnswer ^ res.BobAnswer
+	} else {
+		res.RefereeOutput = res.AliceAnswer & res.BobAnswer
+	}
+	return res, nil
+}
+
+// EmpiricalWinRate plays the converted strategy `trials` times on the fixed
+// input (x, y) and returns the fraction of rounds whose referee output
+// equals want, together with the fraction of non-aborted rounds.
+func (c ConvertedStrategy) EmpiricalWinRate(x, y []int, want, trials int, rng *rand.Rand) (winRate, noAbortRate float64, err error) {
+	if trials <= 0 {
+		return 0, 0, fmt.Errorf("%w: trials must be positive", ErrBadStrategy)
+	}
+	wins, clean := 0, 0
+	for i := 0; i < trials; i++ {
+		res, err := c.Play(x, y, rng)
+		if err != nil {
+			return 0, 0, err
+		}
+		if res.RefereeOutput == want {
+			wins++
+		}
+		if !res.Aborted {
+			clean++
+		}
+	}
+	return float64(wins) / float64(trials), float64(clean) / float64(trials), nil
+}

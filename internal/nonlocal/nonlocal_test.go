@@ -1,0 +1,269 @@
+package nonlocal
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"qdc/internal/comm"
+)
+
+func TestCHSHClassicalValue(t *testing.T) {
+	g := NewCHSH()
+	v, strategy, err := g.ClassicalValue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-CHSHClassicalValue) > 1e-12 {
+		t.Fatalf("classical value = %g, want 0.75", v)
+	}
+	// The returned strategy must actually achieve the value.
+	p, err := g.WinProbability(strategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-v) > 1e-12 {
+		t.Fatalf("best strategy achieves %g, reported %g", p, v)
+	}
+	bias, err := g.ClassicalBias()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bias-0.5) > 1e-12 {
+		t.Fatalf("classical bias = %g, want 0.5", bias)
+	}
+}
+
+func TestCHSHQuantumBeatsClassical(t *testing.T) {
+	g := NewCHSH()
+	p, err := g.EntangledWinProbability(CHSHOptimalStrategy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-CHSHQuantumValue) > 1e-9 {
+		t.Fatalf("entangled value = %g, want cos²(π/8) = %g", p, CHSHQuantumValue)
+	}
+	if p <= CHSHClassicalValue {
+		t.Fatal("quantum strategy should beat the classical value")
+	}
+}
+
+func TestCHSHSampledPlayMatchesExactValue(t *testing.T) {
+	g := NewCHSH()
+	s := CHSHOptimalStrategy()
+	rng := rand.New(rand.NewSource(13))
+	const trials = 4000
+	wins := 0
+	for i := 0; i < trials; i++ {
+		x, y := rng.Intn(2), rng.Intn(2)
+		a, b, err := SampleEntangledPlay(s, x, y, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a^b == g.F(x, y) {
+			wins++
+		}
+	}
+	rate := float64(wins) / trials
+	if math.Abs(rate-CHSHQuantumValue) > 0.03 {
+		t.Fatalf("sampled win rate %g far from %g", rate, CHSHQuantumValue)
+	}
+}
+
+func TestGameValidation(t *testing.T) {
+	bad := &Game{XSize: 2, YSize: 2, Combine: XOR, F: func(x, y int) int { return 0 },
+		Prob: [][]float64{{0.5, 0.5}, {0.5, 0.5}}}
+	if err := bad.Validate(); !errors.Is(err, ErrBadGame) {
+		t.Fatalf("distribution summing to 2 should be rejected, err = %v", err)
+	}
+	bad2 := &Game{XSize: 2, YSize: 2, Combine: Combiner(7), F: func(x, y int) int { return 0 },
+		Prob: [][]float64{{0.25, 0.25}, {0.25, 0.25}}}
+	if err := bad2.Validate(); !errors.Is(err, ErrBadGame) {
+		t.Fatalf("unknown combiner should be rejected, err = %v", err)
+	}
+	var nilGame *Game
+	if err := nilGame.Validate(); !errors.Is(err, ErrBadGame) {
+		t.Fatal("nil game should be rejected")
+	}
+	g := NewCHSH()
+	if _, err := g.WinProbability(DeterministicStrategy{AliceAnswers: []int{0}, BobAnswers: []int{0, 1}}); !errors.Is(err, ErrBadStrategy) {
+		t.Fatalf("short strategy should be rejected, err = %v", err)
+	}
+	if _, err := g.EntangledWinProbability(AngleStrategy{AliceAngles: []float64{0}, BobAngles: []float64{0, 0}}); !errors.Is(err, ErrBadStrategy) {
+		t.Fatalf("short angle strategy should be rejected, err = %v", err)
+	}
+	if _, _, err := SampleEntangledPlay(CHSHOptimalStrategy(), 5, 0, rand.New(rand.NewSource(1))); !errors.Is(err, ErrBadStrategy) {
+		t.Fatalf("out-of-range input should be rejected, err = %v", err)
+	}
+	if XOR.String() != "XOR" || AND.String() != "AND" || Combiner(9).String() == "" {
+		t.Fatal("Combiner.String broken")
+	}
+}
+
+func TestANDGameClassicalValue(t *testing.T) {
+	// AND game with predicate x⊕y: the players must produce a∧b = x⊕y.
+	// Winning all four inputs is impossible (it would force a0=b0=a1=b1=1,
+	// which loses on (1,1)), and 3/4 is achievable (a(x)=x, b(0)=1, b(1)=0),
+	// so the classical value is exactly 3/4.
+	g := &Game{
+		XSize: 2, YSize: 2,
+		Prob:    [][]float64{{0.25, 0.25}, {0.25, 0.25}},
+		F:       func(x, y int) int { return x ^ y },
+		Combine: AND,
+	}
+	v, _, err := g.ClassicalValue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-0.75) > 1e-12 {
+		t.Fatalf("AND-game classical value = %g, want 0.75", v)
+	}
+	// Sanity: the AND game with predicate x∧y is trivially winnable (answer
+	// your own input), so its classical value is 1.
+	trivial := &Game{
+		XSize: 2, YSize: 2,
+		Prob:    [][]float64{{0.25, 0.25}, {0.25, 0.25}},
+		F:       func(x, y int) int { return x & y },
+		Combine: AND,
+	}
+	v, _, err = trivial.ClassicalValue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Fatalf("trivial AND-game value = %g, want 1", v)
+	}
+}
+
+func TestPredictionFormulas(t *testing.T) {
+	p := PredictClassical(3, 1.0)
+	if math.Abs(p.GuessProbability-0.125) > 1e-12 {
+		t.Fatalf("guess probability = %g, want 1/8", p.GuessProbability)
+	}
+	if math.Abs(p.XORWinProbability-(0.5+0.5*0.125)) > 1e-12 {
+		t.Fatalf("XOR win = %g", p.XORWinProbability)
+	}
+	if math.Abs(p.ANDAcceptProbability-0.125) > 1e-12 {
+		t.Fatalf("AND accept = %g", p.ANDAcceptProbability)
+	}
+	q := PredictQuantum(2, 0.9)
+	if math.Abs(q.GuessProbability-math.Pow(4, -4)) > 1e-15 {
+		t.Fatalf("quantum guess probability = %g", q.GuessProbability)
+	}
+	if q.XORWinProbability <= 0.5 || q.ANDAcceptProbability <= 0 {
+		t.Fatal("quantum prediction should give nontrivial advantage")
+	}
+	if MinimumCostForBias(0.6, 1.0) <= 0 {
+		t.Fatal("bias 0.2 with perfect accuracy needs positive cost")
+	}
+	if MinimumCostForBias(0.5, 1.0) != 0 || MinimumCostForBias(0.7, 0.5) != 0 {
+		t.Fatal("degenerate cases should clamp to 0")
+	}
+	if MinimumCostForBias(0.9, 0.6) != 0 {
+		t.Fatal("ratio below 1 should clamp to 0")
+	}
+}
+
+func TestConvertedStrategyRejectsTwoParty(t *testing.T) {
+	c := ConvertedStrategy{Protocol: comm.SendAllTwoParty{P: comm.NewEquality(2)}, Combine: XOR}
+	if _, err := c.Play([]int{1, 1}, []int{1, 1}, nil); !errors.Is(err, ErrNotServerProtocol) {
+		t.Fatalf("err = %v, want ErrNotServerProtocol", err)
+	}
+	bad := ConvertedStrategy{Protocol: comm.SendAllServer{P: comm.NewEquality(2)}, Combine: Combiner(0)}
+	if _, err := bad.Play([]int{1, 1}, []int{1, 1}, nil); !errors.Is(err, ErrBadStrategy) {
+		t.Fatalf("err = %v, want ErrBadStrategy", err)
+	}
+}
+
+// Lemma 3.2, empirically: the no-abort rate of the converted strategy equals
+// 2^(−transcript bits), and the XOR win rate matches the prediction.
+func TestLemma32EmpiricalXOR(t *testing.T) {
+	// Tiny problem so the transcript is short enough to hit the no-abort
+	// event often: Eq_2 via send-all-server has cost 3 bits.
+	prob := comm.NewEquality(2)
+	proto := comm.SendAllServer{P: prob}
+	strategy := ConvertedStrategy{Protocol: proto, Combine: XOR}
+	x, y := []int{1, 0}, []int{1, 0}
+	want, err := prob.Evaluate(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	const trials = 20000
+	winRate, noAbort, err := strategy.EmpiricalWinRate(x, y, want, trials, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := PredictClassical(3, 1.0) // deterministic protocol: accuracy 1
+	if math.Abs(noAbort-pred.GuessProbability) > 0.01 {
+		t.Fatalf("no-abort rate %g, predicted %g", noAbort, pred.GuessProbability)
+	}
+	if math.Abs(winRate-pred.XORWinProbability) > 0.02 {
+		t.Fatalf("win rate %g, predicted %g", winRate, pred.XORWinProbability)
+	}
+	if winRate <= 0.5 {
+		t.Fatal("converted strategy must beat random guessing")
+	}
+}
+
+// Lemma 3.2 for AND games: on 0-inputs of a one-sided protocol the strategy
+// never accepts; on 1-inputs it accepts with probability
+// accuracy·2^(−bits).
+func TestLemma32EmpiricalAND(t *testing.T) {
+	prob := comm.NewEquality(2)
+	proto := comm.SendAllServer{P: prob}
+	strategy := ConvertedStrategy{Protocol: proto, Combine: AND}
+	rng := rand.New(rand.NewSource(7))
+	const trials = 20000
+
+	// 0-input: x != y. The protocol always outputs 0, so the AND output is 0
+	// in every round (abort or not): acceptance probability must be 0.
+	accepts := 0
+	for i := 0; i < trials/4; i++ {
+		res, err := strategy.Play([]int{1, 0}, []int{0, 0}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.RefereeOutput == 1 {
+			accepts++
+		}
+	}
+	if accepts != 0 {
+		t.Fatalf("AND strategy accepted a 0-input %d times", accepts)
+	}
+
+	// 1-input: acceptance rate should match accuracy·2^(−3).
+	acceptRate, _, err := strategy.EmpiricalWinRate([]int{1, 1}, []int{1, 1}, 1, trials, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := PredictClassical(3, 1.0)
+	if math.Abs(acceptRate-pred.ANDAcceptProbability) > 0.01 {
+		t.Fatalf("accept rate %g, predicted %g", acceptRate, pred.ANDAcceptProbability)
+	}
+}
+
+func TestEmpiricalWinRateValidation(t *testing.T) {
+	strategy := ConvertedStrategy{Protocol: comm.SendAllServer{P: comm.NewEquality(2)}, Combine: XOR}
+	if _, _, err := strategy.EmpiricalWinRate([]int{1, 1}, []int{1, 1}, 1, 0, nil); err == nil {
+		t.Fatal("zero trials should be rejected")
+	}
+}
+
+// The contrapositive use of Lemma 3.2: a game bound on the achievable bias
+// translates into a lower bound on the server-model cost. With the CHSH
+// example: any strategy derived from a protocol with too few bits cannot
+// even reach the classical CHSH value, let alone the Tsirelson bound.
+func TestLemma32Contrapositive(t *testing.T) {
+	// A 1-bit protocol gives XOR win probability at most 1/2 + 1/2·1/2 = 3/4.
+	p := PredictClassical(1, 1.0)
+	if p.XORWinProbability > CHSHClassicalValue+1e-12 {
+		t.Fatalf("1-bit conversion wins %g, cannot exceed 0.75", p.XORWinProbability)
+	}
+	// Conversely, to reach win probability 0.7 the protocol must have sent
+	// at least log2(0.5/0.2) ≈ 1.32 bits.
+	if got := MinimumCostForBias(0.7, 1.0); got < 1.3 || got > 1.35 {
+		t.Fatalf("MinimumCostForBias(0.7) = %g", got)
+	}
+}

@@ -1,0 +1,90 @@
+package quantum
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Standard single-qubit gate matrices.
+var (
+	invSqrt2 = complex(1/math.Sqrt2, 0)
+
+	// GateH is the Hadamard gate.
+	GateH = [2][2]complex128{{invSqrt2, invSqrt2}, {invSqrt2, -invSqrt2}}
+	// GateX is the Pauli-X (NOT) gate.
+	GateX = [2][2]complex128{{0, 1}, {1, 0}}
+	// GateY is the Pauli-Y gate.
+	GateY = [2][2]complex128{{0, -1i}, {1i, 0}}
+	// GateZ is the Pauli-Z gate.
+	GateZ = [2][2]complex128{{1, 0}, {0, -1}}
+	// GateS is the phase gate (√Z).
+	GateS = [2][2]complex128{{1, 0}, {0, 1i}}
+	// GateT is the π/8 gate (√S).
+	GateT = [2][2]complex128{{1, 0}, {0, cmplx.Exp(1i * math.Pi / 4)}}
+)
+
+// RyGate returns the single-qubit rotation about the Y axis by angle theta:
+// Ry(θ) = [[cos(θ/2), −sin(θ/2)], [sin(θ/2), cos(θ/2)]].
+func RyGate(theta float64) [2][2]complex128 {
+	c, s := complex(math.Cos(theta/2), 0), complex(math.Sin(theta/2), 0)
+	return [2][2]complex128{{c, -s}, {s, c}}
+}
+
+// RzGate returns the rotation about the Z axis by angle theta.
+func RzGate(theta float64) [2][2]complex128 {
+	return [2][2]complex128{
+		{cmplx.Exp(complex(0, -theta/2)), 0},
+		{0, cmplx.Exp(complex(0, theta/2))},
+	}
+}
+
+// H applies a Hadamard to qubit q.
+func (s *State) H(q int) error { return s.ApplySingle(q, GateH) }
+
+// X applies a Pauli-X to qubit q.
+func (s *State) X(q int) error { return s.ApplySingle(q, GateX) }
+
+// Y applies a Pauli-Y to qubit q.
+func (s *State) Y(q int) error { return s.ApplySingle(q, GateY) }
+
+// Z applies a Pauli-Z to qubit q.
+func (s *State) Z(q int) error { return s.ApplySingle(q, GateZ) }
+
+// Ry applies a Y-rotation by theta to qubit q.
+func (s *State) Ry(q int, theta float64) error { return s.ApplySingle(q, RyGate(theta)) }
+
+// CNOT applies a controlled-NOT with the given control and target qubits.
+func (s *State) CNOT(control, target int) error { return s.ApplyControlled(control, target, GateX) }
+
+// CZ applies a controlled-Z with the given control and target qubits.
+func (s *State) CZ(control, target int) error { return s.ApplyControlled(control, target, GateZ) }
+
+// MeasureInRotatedBasis measures qubit q in the basis obtained by rotating
+// the computational basis by angle theta about the Y axis (the measurement
+// used by optimal XOR-game strategies: outcome 0 corresponds to the state
+// cos(θ)|0⟩+sin(θ)|1⟩). The state collapses accordingly.
+func (s *State) MeasureInRotatedBasis(q int, theta float64) (int, error) {
+	// Rotate so the desired basis becomes the computational basis, measure,
+	// then rotate back.
+	if err := s.Ry(q, -2*theta); err != nil {
+		return 0, err
+	}
+	out, err := s.Measure(q)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.Ry(q, 2*theta); err != nil {
+		return 0, err
+	}
+	return out, nil
+}
+
+// ProbabilityOneInRotatedBasis returns the probability of outcome 1 when
+// measuring qubit q in the theta-rotated basis, without collapsing the state.
+func (s *State) ProbabilityOneInRotatedBasis(q int, theta float64) (float64, error) {
+	cp := s.Clone()
+	if err := cp.Ry(q, -2*theta); err != nil {
+		return 0, err
+	}
+	return cp.ProbabilityOfOne(q)
+}

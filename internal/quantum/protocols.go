@@ -1,0 +1,182 @@
+package quantum
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// ErrBadClassicalBit reports a classical bit outside {0,1}.
+var ErrBadClassicalBit = errors.New("quantum: classical bit must be 0 or 1")
+
+// BellPair returns a two-qubit register in the EPR state (|00⟩+|11⟩)/√2.
+// Shared EPR pairs are the basic form of prior entanglement discussed in
+// footnote 2 of the paper.
+func BellPair(rng *rand.Rand) (*State, error) {
+	s, err := NewState(2, rng)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.H(0); err != nil {
+		return nil, err
+	}
+	if err := s.CNOT(0, 1); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// SharedRandomBitFromEPR measures both halves of a fresh EPR pair and
+// returns the common bit, demonstrating that shared entanglement subsumes
+// shared randomness (footnote 2).
+func SharedRandomBitFromEPR(rng *rand.Rand) (int, error) {
+	pair, err := BellPair(rng)
+	if err != nil {
+		return 0, err
+	}
+	a, err := pair.Measure(0)
+	if err != nil {
+		return 0, err
+	}
+	b, err := pair.Measure(1)
+	if err != nil {
+		return 0, err
+	}
+	if a != b {
+		return 0, fmt.Errorf("quantum: EPR halves disagreed (%d vs %d)", a, b)
+	}
+	return a, nil
+}
+
+// TeleportResult reports the outcome of one teleportation.
+type TeleportResult struct {
+	// ClassicalBits are the two bits Alice sends to Bob.
+	ClassicalBits [2]int
+	// Fidelity is the overlap between Bob's received qubit and the state
+	// Alice teleported (1 for a correct implementation).
+	Fidelity float64
+}
+
+// Teleport teleports the single-qubit state α|0⟩+β|1⟩ from Alice to Bob
+// using one shared EPR pair and two classical bits, and returns the fidelity
+// of Bob's resulting qubit with the input state.
+//
+// Teleportation is the tool used in the proof of Lemma 3.2 (and Appendix B.2)
+// to replace each qubit Carol/David send to the server by two classical,
+// uniformly distributed bits.
+func Teleport(alpha, beta complex128, rng *rand.Rand) (*TeleportResult, error) {
+	norm := real(alpha)*real(alpha) + imag(alpha)*imag(alpha) +
+		real(beta)*real(beta) + imag(beta)*imag(beta)
+	if norm < 1e-12 {
+		return nil, ErrNotNormalized
+	}
+	// Qubit 0: Alice's payload. Qubit 1: Alice's EPR half. Qubit 2: Bob's half.
+	amps := make([]complex128, 8)
+	amps[0] = alpha
+	amps[1] = beta
+	s, err := FromAmplitudes(normalize(amps), rng)
+	if err != nil {
+		return nil, err
+	}
+	// Entangle qubits 1 and 2 into an EPR pair.
+	if err := s.H(1); err != nil {
+		return nil, err
+	}
+	if err := s.CNOT(1, 2); err != nil {
+		return nil, err
+	}
+	// Alice's Bell measurement on qubits 0 and 1.
+	if err := s.CNOT(0, 1); err != nil {
+		return nil, err
+	}
+	if err := s.H(0); err != nil {
+		return nil, err
+	}
+	m0, err := s.Measure(0)
+	if err != nil {
+		return nil, err
+	}
+	m1, err := s.Measure(1)
+	if err != nil {
+		return nil, err
+	}
+	// Bob's corrections conditioned on the two classical bits.
+	if m1 == 1 {
+		if err := s.X(2); err != nil {
+			return nil, err
+		}
+	}
+	if m0 == 1 {
+		if err := s.Z(2); err != nil {
+			return nil, err
+		}
+	}
+	// Compare Bob's qubit with the intended state. After the measurements
+	// qubits 0 and 1 are fixed to m0 and m1, so Bob's qubit amplitudes sit at
+	// basis indices m0 + 2*m1 (+ 4 for the |1⟩ component).
+	base := m0 + 2*m1
+	a0, a1 := s.Amplitude(base), s.Amplitude(base+4)
+	scale := complex(1/math.Sqrt(norm), 0)
+	ta, tb := alpha*scale, beta*scale
+	overlap := cmplx.Conj(ta)*a0 + cmplx.Conj(tb)*a1
+	fidelity := real(overlap)*real(overlap) + imag(overlap)*imag(overlap)
+	return &TeleportResult{ClassicalBits: [2]int{m0, m1}, Fidelity: fidelity}, nil
+}
+
+// SuperdenseEncodeDecode transmits the two classical bits (b0, b1) from
+// Alice to Bob by sending a single qubit of a shared EPR pair, and returns
+// the bits Bob decodes. A correct implementation returns the input bits.
+func SuperdenseEncodeDecode(b0, b1 int, rng *rand.Rand) (int, int, error) {
+	if b0 != 0 && b0 != 1 || b1 != 0 && b1 != 1 {
+		return 0, 0, fmt.Errorf("%w: (%d,%d)", ErrBadClassicalBit, b0, b1)
+	}
+	s, err := BellPair(rng)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Alice encodes on her half (qubit 0).
+	if b1 == 1 {
+		if err := s.X(0); err != nil {
+			return 0, 0, err
+		}
+	}
+	if b0 == 1 {
+		if err := s.Z(0); err != nil {
+			return 0, 0, err
+		}
+	}
+	// Alice sends qubit 0 to Bob; Bob decodes with CNOT + H and measures.
+	if err := s.CNOT(0, 1); err != nil {
+		return 0, 0, err
+	}
+	if err := s.H(0); err != nil {
+		return 0, 0, err
+	}
+	d0, err := s.Measure(0)
+	if err != nil {
+		return 0, 0, err
+	}
+	d1, err := s.Measure(1)
+	if err != nil {
+		return 0, 0, err
+	}
+	return d0, d1, nil
+}
+
+func normalize(amps []complex128) []complex128 {
+	var norm float64
+	for _, a := range amps {
+		norm += real(a)*real(a) + imag(a)*imag(a)
+	}
+	if norm == 0 {
+		return amps
+	}
+	scale := complex(1/math.Sqrt(norm), 0)
+	out := make([]complex128, len(amps))
+	for i, a := range amps {
+		out[i] = a * scale
+	}
+	return out
+}

@@ -1,0 +1,450 @@
+package quantum
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestNewStateIsAllZero(t *testing.T) {
+	s, err := NewState(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumQubits() != 3 {
+		t.Fatalf("NumQubits = %d, want 3", s.NumQubits())
+	}
+	if !approx(s.Probability(0), 1) {
+		t.Fatalf("P(|000>) = %g, want 1", s.Probability(0))
+	}
+	for b := 1; b < 8; b++ {
+		if s.Probability(b) > eps {
+			t.Fatalf("P(%d) = %g, want 0", b, s.Probability(b))
+		}
+	}
+}
+
+func TestNewStateBounds(t *testing.T) {
+	if _, err := NewState(0, nil); !errors.Is(err, ErrTooManyQubits) {
+		t.Fatalf("NewState(0) err = %v", err)
+	}
+	if _, err := NewState(MaxQubits+1, nil); !errors.Is(err, ErrTooManyQubits) {
+		t.Fatalf("NewState(too many) err = %v", err)
+	}
+}
+
+func TestFromAmplitudesValidation(t *testing.T) {
+	if _, err := FromAmplitudes([]complex128{1, 0, 0}, nil); err == nil {
+		t.Fatal("non power-of-two length should fail")
+	}
+	if _, err := FromAmplitudes([]complex128{0.5, 0.5}, nil); !errors.Is(err, ErrNotNormalized) {
+		t.Fatalf("unnormalised vector err = %v", err)
+	}
+	s, err := FromAmplitudes([]complex128{complex(1/math.Sqrt2, 0), complex(1/math.Sqrt2, 0)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Probability(0), 0.5) {
+		t.Fatalf("P(0) = %g, want 0.5", s.Probability(0))
+	}
+}
+
+func TestHadamardSuperposition(t *testing.T) {
+	s, _ := NewState(1, nil)
+	if err := s.H(0); err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Probability(0), 0.5) || !approx(s.Probability(1), 0.5) {
+		t.Fatalf("H|0> probabilities = %g, %g", s.Probability(0), s.Probability(1))
+	}
+	// H is self-inverse.
+	if err := s.H(0); err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Probability(0), 1) {
+		t.Fatalf("HH|0> should be |0>, got P0=%g", s.Probability(0))
+	}
+}
+
+func TestPauliGates(t *testing.T) {
+	s, _ := NewState(1, nil)
+	if err := s.X(0); err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Probability(1), 1) {
+		t.Fatal("X|0> should be |1>")
+	}
+	if err := s.Z(0); err != nil {
+		t.Fatal(err)
+	}
+	if !approx(cmplx.Abs(s.Amplitude(1)+1), 0) {
+		t.Fatalf("Z|1> amplitude = %v, want -1", s.Amplitude(1))
+	}
+	if err := s.Y(0); err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Probability(0), 1) {
+		t.Fatal("Y|1> (up to phase) should be |0>")
+	}
+}
+
+func TestGateErrors(t *testing.T) {
+	s, _ := NewState(2, nil)
+	if err := s.H(5); !errors.Is(err, ErrQubitOutOfRange) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := s.CNOT(1, 1); !errors.Is(err, ErrSameQubit) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := s.CNOT(0, 9); !errors.Is(err, ErrQubitOutOfRange) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.ProbabilityOfOne(-1); !errors.Is(err, ErrQubitOutOfRange) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.Measure(7); !errors.Is(err, ErrQubitOutOfRange) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBellPairCorrelations(t *testing.T) {
+	pair, err := BellPair(rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(pair.Probability(0), 0.5) || !approx(pair.Probability(3), 0.5) {
+		t.Fatalf("Bell pair probabilities: P(00)=%g P(11)=%g", pair.Probability(0), pair.Probability(3))
+	}
+	if pair.Probability(1) > eps || pair.Probability(2) > eps {
+		t.Fatal("Bell pair has weight on anti-correlated outcomes")
+	}
+	// Measuring both halves always agrees.
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 50; i++ {
+		b, err := SharedRandomBitFromEPR(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b != 0 && b != 1 {
+			t.Fatalf("shared bit = %d", b)
+		}
+	}
+}
+
+func TestSharedRandomBitIsUniformish(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ones := 0
+	const trials = 400
+	for i := 0; i < trials; i++ {
+		b, err := SharedRandomBitFromEPR(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ones += b
+	}
+	if ones < trials/4 || ones > 3*trials/4 {
+		t.Fatalf("shared bit heavily biased: %d ones out of %d", ones, trials)
+	}
+}
+
+func TestMeasurementCollapse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s, _ := NewState(2, rng)
+	if err := s.H(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CNOT(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.Measure(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Measure(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatalf("entangled qubits measured differently: %d vs %d", first, second)
+	}
+	// Re-measuring gives the same answer.
+	again, err := s.Measure(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != first {
+		t.Fatal("repeated measurement changed outcome")
+	}
+}
+
+func TestMeasureAllStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	zeros := 0
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		s, _ := NewState(1, rng)
+		if err := s.H(0); err != nil {
+			t.Fatal(err)
+		}
+		bits, err := s.MeasureAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bits[0] == 0 {
+			zeros++
+		}
+	}
+	if zeros < trials/4 || zeros > 3*trials/4 {
+		t.Fatalf("H|0> measurement heavily biased: %d zeros of %d", zeros, trials)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s, _ := NewState(1, nil)
+	c := s.Clone()
+	if err := c.X(0); err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Probability(0), 1) {
+		t.Fatal("mutating clone affected original")
+	}
+}
+
+func TestInnerProductAndFidelity(t *testing.T) {
+	a, _ := NewState(1, nil)
+	b, _ := NewState(1, nil)
+	if err := b.X(0); err != nil {
+		t.Fatal(err)
+	}
+	f, err := a.Fidelity(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(f, 0) {
+		t.Fatalf("fidelity of orthogonal states = %g", f)
+	}
+	f, err = a.Fidelity(a.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(f, 1) {
+		t.Fatalf("self fidelity = %g", f)
+	}
+	big, _ := NewState(2, nil)
+	if _, err := a.Fidelity(big); err == nil {
+		t.Fatal("size mismatch should error")
+	}
+}
+
+func TestRotatedBasisMeasurement(t *testing.T) {
+	// |0> measured in the θ-rotated basis yields 1 with probability sin²θ.
+	for _, theta := range []float64{0, math.Pi / 8, math.Pi / 4, math.Pi / 3} {
+		s, _ := NewState(1, nil)
+		p, err := s.ProbabilityOneInRotatedBasis(0, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Sin(theta) * math.Sin(theta)
+		if !approx(p, want) {
+			t.Fatalf("theta=%g: P(1) = %g, want %g", theta, p, want)
+		}
+	}
+}
+
+func TestTeleportationPerfectFidelity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cases := []struct{ alpha, beta complex128 }{
+		{1, 0},
+		{0, 1},
+		{complex(1/math.Sqrt2, 0), complex(1/math.Sqrt2, 0)},
+		{complex(0.6, 0), complex(0, 0.8)},
+		{complex(0.3, 0.4), complex(0.5, -0.707106781)},
+	}
+	for _, tc := range cases {
+		for trial := 0; trial < 8; trial++ {
+			res, err := Teleport(tc.alpha, tc.beta, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Fidelity < 1-1e-6 {
+				t.Fatalf("teleport fidelity = %g for (%v,%v), bits %v", res.Fidelity, tc.alpha, tc.beta, res.ClassicalBits)
+			}
+		}
+	}
+	if _, err := Teleport(0, 0, rng); !errors.Is(err, ErrNotNormalized) {
+		t.Fatalf("teleporting the zero vector should fail, err = %v", err)
+	}
+}
+
+func TestTeleportationClassicalBitsAreUniform(t *testing.T) {
+	// The two classical bits of teleportation are uniformly distributed and
+	// independent of the payload; this is exactly the property Lemma 3.2
+	// relies on (the game players can guess them).
+	rng := rand.New(rand.NewSource(17))
+	counts := make(map[[2]int]int)
+	const trials = 600
+	for i := 0; i < trials; i++ {
+		res, err := Teleport(complex(0.6, 0), complex(0.8, 0), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[res.ClassicalBits]++
+	}
+	for _, pair := range [][2]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}} {
+		frac := float64(counts[pair]) / trials
+		if frac < 0.13 || frac > 0.40 {
+			t.Fatalf("classical bit pair %v frequency %g far from 1/4 (counts %v)", pair, frac, counts)
+		}
+	}
+}
+
+func TestSuperdenseCoding(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for b0 := 0; b0 <= 1; b0++ {
+		for b1 := 0; b1 <= 1; b1++ {
+			for trial := 0; trial < 10; trial++ {
+				d0, d1, err := SuperdenseEncodeDecode(b0, b1, rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d0 != b0 || d1 != b1 {
+					t.Fatalf("superdense decode (%d,%d) != encode (%d,%d)", d0, d1, b0, b1)
+				}
+			}
+		}
+	}
+	if _, _, err := SuperdenseEncodeDecode(2, 0, rng); !errors.Is(err, ErrBadClassicalBit) {
+		t.Fatalf("bad bit err = %v", err)
+	}
+}
+
+func TestGroverFindsSingleMarkedItem(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, size := range []int{8, 16, 64, 256} {
+		target := size / 3
+		res, err := GroverSearch(size, 1, func(i int) bool { return i == target }, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SuccessProbability < 0.8 {
+			t.Fatalf("size %d: success probability %g too low", size, res.SuccessProbability)
+		}
+		wantQueries := GroverIterations(nextPow2(size), 1)
+		if res.OracleQueries != wantQueries {
+			t.Fatalf("size %d: queries = %d, want %d", size, res.OracleQueries, wantQueries)
+		}
+	}
+}
+
+func TestGroverQueryScaling(t *testing.T) {
+	// Quadrupling the search space should roughly double the query count.
+	q64 := GroverIterations(64, 1)
+	q256 := GroverIterations(256, 1)
+	ratio := float64(q256) / float64(q64)
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Fatalf("query ratio 256/64 = %g, want ~2", ratio)
+	}
+	if GroverIterations(16, 0) != 1 || GroverIterations(0, 1) != 1 {
+		t.Fatal("degenerate inputs should clamp to 1 iteration")
+	}
+	if GroverQueryCost(1<<20, 1) <= GroverQueryCost(1<<10, 1) {
+		t.Fatal("query cost should grow with the search space")
+	}
+}
+
+func TestGroverNoMarkedItem(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	res, err := GroverSearch(32, 1, func(i int) bool { return false }, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IsMarked {
+		t.Fatal("cannot find a marked item when none exists")
+	}
+	if res.SuccessProbability > eps {
+		t.Fatalf("success probability %g should be 0", res.SuccessProbability)
+	}
+}
+
+func TestGroverErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	if _, err := GroverSearch(0, 1, func(int) bool { return false }, rng); !errors.Is(err, ErrEmptySearchSpace) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := GroverSearch(1<<25, 1, func(int) bool { return false }, rng); !errors.Is(err, ErrTooManyQubits) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Property: unitaries preserve the norm of the state.
+func TestQuickUnitariesPreserveNorm(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, err := NewState(4, rng)
+		if err != nil {
+			return false
+		}
+		for step := 0; step < 30; step++ {
+			q := rng.Intn(4)
+			switch rng.Intn(6) {
+			case 0:
+				err = s.H(q)
+			case 1:
+				err = s.X(q)
+			case 2:
+				err = s.Z(q)
+			case 3:
+				err = s.Ry(q, rng.Float64()*math.Pi)
+			case 4:
+				err = s.CNOT(q, (q+1)%4)
+			case 5:
+				err = s.CZ(q, (q+2)%4)
+			}
+			if err != nil {
+				return false
+			}
+		}
+		var norm float64
+		for b := 0; b < 16; b++ {
+			norm += s.Probability(b)
+		}
+		return math.Abs(norm-1) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: teleportation has unit fidelity for random payload states.
+func TestQuickTeleportationFidelity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		theta := rng.Float64() * math.Pi
+		phi := rng.Float64() * 2 * math.Pi
+		alpha := complex(math.Cos(theta/2), 0)
+		beta := cmplx.Exp(complex(0, phi)) * complex(math.Sin(theta/2), 0)
+		res, err := Teleport(alpha, beta, rng)
+		if err != nil {
+			return false
+		}
+		return res.Fidelity > 1-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

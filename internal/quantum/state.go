@@ -1,0 +1,268 @@
+// Package quantum provides a small state-vector simulator for the quantum
+// phenomena invoked by the paper: qubits and quantum messages, EPR pairs and
+// shared entanglement (footnote 2), teleportation (used in the proof of
+// Lemma 3.2 to replace qubit messages by classical bits), superdense coding,
+// the optimal entangled strategies of nonlocal XOR games such as CHSH
+// (Section 6 and Appendix B.1), and Grover/BBHT search, which underlies the
+// Aaronson–Ambainis O(√b) Set Disjointness protocol of Example 1.1.
+//
+// The simulator stores the full 2^n-dimensional state vector and is intended
+// for protocol-sized registers (n up to ~20 qubits), which is all the
+// reproduction needs: the paper's quantitative content is carried by *counts*
+// (queries, rounds, bits), and those are measured exactly on these small
+// instances and extrapolated by the closed-form cost models in
+// internal/bounds.
+package quantum
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// MaxQubits bounds the register size so that a mistake cannot allocate an
+// unreasonable amount of memory (2^24 amplitudes = 256 MiB).
+const MaxQubits = 24
+
+// Errors returned by the simulator.
+var (
+	// ErrQubitOutOfRange reports a qubit index outside the register.
+	ErrQubitOutOfRange = errors.New("quantum: qubit index out of range")
+	// ErrTooManyQubits reports a register larger than MaxQubits.
+	ErrTooManyQubits = errors.New("quantum: register too large")
+	// ErrSameQubit reports a two-qubit gate applied to a single wire.
+	ErrSameQubit = errors.New("quantum: control and target must differ")
+	// ErrNotNormalized reports an amplitude vector whose norm is not 1.
+	ErrNotNormalized = errors.New("quantum: state is not normalised")
+)
+
+// State is a pure quantum state on n qubits. Basis states are indexed by
+// integers whose bit k is the value of qubit k (qubit 0 is the least
+// significant bit).
+//
+// The zero value is not usable; construct with NewState or FromAmplitudes.
+type State struct {
+	n    int
+	amps []complex128
+	rng  *rand.Rand
+}
+
+// NewState returns the n-qubit all-zero state |0…0⟩. rng is used for
+// measurement outcomes; if nil, a deterministic source seeded with 1 is used
+// so that tests are reproducible by default.
+func NewState(n int, rng *rand.Rand) (*State, error) {
+	if n < 1 || n > MaxQubits {
+		return nil, fmt.Errorf("%w: n=%d", ErrTooManyQubits, n)
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	amps := make([]complex128, 1<<n)
+	amps[0] = 1
+	return &State{n: n, amps: amps, rng: rng}, nil
+}
+
+// FromAmplitudes builds a state from an explicit amplitude vector of length
+// 2^n. The vector must be normalised to within a small tolerance.
+func FromAmplitudes(amps []complex128, rng *rand.Rand) (*State, error) {
+	n := 0
+	for 1<<n < len(amps) {
+		n++
+	}
+	if 1<<n != len(amps) || n < 1 {
+		return nil, fmt.Errorf("quantum: amplitude vector length %d is not a power of two >= 2", len(amps))
+	}
+	if n > MaxQubits {
+		return nil, fmt.Errorf("%w: n=%d", ErrTooManyQubits, n)
+	}
+	var norm float64
+	for _, a := range amps {
+		norm += real(a)*real(a) + imag(a)*imag(a)
+	}
+	if math.Abs(norm-1) > 1e-9 {
+		return nil, fmt.Errorf("%w: squared norm %g", ErrNotNormalized, norm)
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	cp := make([]complex128, len(amps))
+	copy(cp, amps)
+	return &State{n: n, amps: cp, rng: rng}, nil
+}
+
+// NumQubits returns the register size.
+func (s *State) NumQubits() int { return s.n }
+
+// Amplitude returns the amplitude of the given basis state.
+func (s *State) Amplitude(basis int) complex128 {
+	if basis < 0 || basis >= len(s.amps) {
+		return 0
+	}
+	return s.amps[basis]
+}
+
+// Probability returns the probability of observing the given basis state if
+// all qubits were measured.
+func (s *State) Probability(basis int) float64 {
+	a := s.Amplitude(basis)
+	return real(a)*real(a) + imag(a)*imag(a)
+}
+
+// Clone returns an independent copy sharing the same random source.
+func (s *State) Clone() *State {
+	cp := make([]complex128, len(s.amps))
+	copy(cp, s.amps)
+	return &State{n: s.n, amps: cp, rng: s.rng}
+}
+
+func (s *State) checkQubit(q int) error {
+	if q < 0 || q >= s.n {
+		return fmt.Errorf("%w: qubit %d of %d", ErrQubitOutOfRange, q, s.n)
+	}
+	return nil
+}
+
+// ApplySingle applies the 2x2 unitary m to qubit q.
+func (s *State) ApplySingle(q int, m [2][2]complex128) error {
+	if err := s.checkQubit(q); err != nil {
+		return err
+	}
+	bit := 1 << q
+	for i := 0; i < len(s.amps); i++ {
+		if i&bit != 0 {
+			continue
+		}
+		j := i | bit
+		a0, a1 := s.amps[i], s.amps[j]
+		s.amps[i] = m[0][0]*a0 + m[0][1]*a1
+		s.amps[j] = m[1][0]*a0 + m[1][1]*a1
+	}
+	return nil
+}
+
+// ApplyControlled applies the 2x2 unitary m to the target qubit conditioned
+// on the control qubit being 1.
+func (s *State) ApplyControlled(control, target int, m [2][2]complex128) error {
+	if err := s.checkQubit(control); err != nil {
+		return err
+	}
+	if err := s.checkQubit(target); err != nil {
+		return err
+	}
+	if control == target {
+		return ErrSameQubit
+	}
+	cbit, tbit := 1<<control, 1<<target
+	for i := 0; i < len(s.amps); i++ {
+		if i&cbit == 0 || i&tbit != 0 {
+			continue
+		}
+		j := i | tbit
+		a0, a1 := s.amps[i], s.amps[j]
+		s.amps[i] = m[0][0]*a0 + m[0][1]*a1
+		s.amps[j] = m[1][0]*a0 + m[1][1]*a1
+	}
+	return nil
+}
+
+// PhaseFlip multiplies the amplitude of every basis state selected by the
+// predicate by -1. It is the oracle primitive used by Grover search.
+func (s *State) PhaseFlip(pred func(basis int) bool) {
+	for i := range s.amps {
+		if pred(i) {
+			s.amps[i] = -s.amps[i]
+		}
+	}
+}
+
+// ProbabilityOfOne returns the probability that measuring qubit q yields 1.
+func (s *State) ProbabilityOfOne(q int) (float64, error) {
+	if err := s.checkQubit(q); err != nil {
+		return 0, err
+	}
+	bit := 1 << q
+	var p float64
+	for i, a := range s.amps {
+		if i&bit != 0 {
+			p += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	return p, nil
+}
+
+// Measure measures qubit q in the computational basis, collapses the state,
+// and returns the outcome (0 or 1).
+func (s *State) Measure(q int) (int, error) {
+	p1, err := s.ProbabilityOfOne(q)
+	if err != nil {
+		return 0, err
+	}
+	outcome := 0
+	if s.rng.Float64() < p1 {
+		outcome = 1
+	}
+	if err := s.collapse(q, outcome, p1); err != nil {
+		return 0, err
+	}
+	return outcome, nil
+}
+
+// MeasureAll measures every qubit and returns the outcomes indexed by qubit.
+func (s *State) MeasureAll() ([]int, error) {
+	out := make([]int, s.n)
+	for q := 0; q < s.n; q++ {
+		b, err := s.Measure(q)
+		if err != nil {
+			return nil, err
+		}
+		out[q] = b
+	}
+	return out, nil
+}
+
+func (s *State) collapse(q, outcome int, p1 float64) error {
+	p := p1
+	if outcome == 0 {
+		p = 1 - p1
+	}
+	if p <= 0 {
+		return fmt.Errorf("quantum: collapsing qubit %d to impossible outcome %d", q, outcome)
+	}
+	bit := 1 << q
+	scale := complex(1/math.Sqrt(p), 0)
+	for i := range s.amps {
+		has := 0
+		if i&bit != 0 {
+			has = 1
+		}
+		if has == outcome {
+			s.amps[i] *= scale
+		} else {
+			s.amps[i] = 0
+		}
+	}
+	return nil
+}
+
+// InnerProduct returns ⟨s|other⟩. The registers must have the same size.
+func (s *State) InnerProduct(other *State) (complex128, error) {
+	if s.n != other.n {
+		return 0, fmt.Errorf("quantum: register sizes differ (%d vs %d)", s.n, other.n)
+	}
+	var sum complex128
+	for i := range s.amps {
+		sum += cmplx.Conj(s.amps[i]) * other.amps[i]
+	}
+	return sum, nil
+}
+
+// Fidelity returns |⟨s|other⟩|², the overlap between two pure states.
+func (s *State) Fidelity(other *State) (float64, error) {
+	ip, err := s.InnerProduct(other)
+	if err != nil {
+		return 0, err
+	}
+	return real(ip)*real(ip) + imag(ip)*imag(ip), nil
+}

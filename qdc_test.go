@@ -1,0 +1,156 @@
+package qdc
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestLowerBoundFacades(t *testing.T) {
+	if VerificationLowerBound(10000, 32) <= 0 {
+		t.Fatal("verification lower bound should be positive")
+	}
+	if MSTLowerBound(10000, 32, 1000, 2) <= 0 {
+		t.Fatal("MST lower bound should be positive")
+	}
+	if MSTLowerBound(10000, 32, 1e9, 2) != VerificationLowerBound(10000, 32) {
+		t.Fatal("MST bound should saturate at the verification bound")
+	}
+	rows, err := Figure2Table(100000, 32, 1e5, 2)
+	if err != nil || len(rows) == 0 {
+		t.Fatalf("Figure2Table: %v", err)
+	}
+	pts, err := Figure3Curve(100000, 32, 14, 2, []float64{10, 1e3, 1e6})
+	if err != nil || len(pts) != 3 {
+		t.Fatalf("Figure3Curve: %v", err)
+	}
+	if len(ServerModelTable(1200)) == 0 {
+		t.Fatal("ServerModelTable empty")
+	}
+}
+
+func TestRunProofPipeline(t *testing.T) {
+	if _, err := RunProofPipeline(0, 64, 1); !errors.Is(err, ErrBadParameters) {
+		t.Fatalf("err = %v", err)
+	}
+	res, err := RunProofPipeline(3, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GadgetNodes != 36 {
+		t.Fatalf("gadget nodes = %d, want 36", res.GadgetNodes)
+	}
+	if res.GadgetIsHamiltonian != (res.IPMod3Value == 0) {
+		t.Fatal("Lemma C.3 violated in the pipeline")
+	}
+	if !res.EmbeddedMatchesGadget {
+		t.Fatal("Observation 8.1/D.3 violated in the pipeline")
+	}
+	if !res.SimulationReport.WithinTheoremBound {
+		t.Fatal("Theorem 3.5 accounting violated in the pipeline")
+	}
+	if res.NetworkDiameter <= 0 || res.NetworkNodes <= res.GadgetNodes {
+		t.Fatalf("network shape wrong: %+v", res)
+	}
+	if res.DistributedLowerBound <= 0 || res.ServerLowerBoundBits < 0 {
+		t.Fatal("bounds missing")
+	}
+}
+
+func TestRunMSTExperiment(t *testing.T) {
+	if _, err := RunMSTExperiment(1, 9, 128, 8, 2, 1); !errors.Is(err, ErrBadParameters) {
+		t.Fatalf("err = %v", err)
+	}
+	res, err := RunMSTExperiment(5, 9, 128, 32, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExactRounds == 0 || res.ApproxRounds == 0 {
+		t.Fatal("rounds not measured")
+	}
+	if res.ApproxRatio < 1-1e-9 || res.ApproxRatio > res.Alpha+1e-9 {
+		t.Fatalf("approximation ratio %g outside [1, α]", res.ApproxRatio)
+	}
+	if res.LowerBound <= 0 || res.UpperBound < res.LowerBound {
+		t.Fatalf("bounds inconsistent: %+v", res)
+	}
+}
+
+func TestRunVerificationExperiment(t *testing.T) {
+	if _, err := RunVerificationExperiment(1, 9, 64, 1, 1); !errors.Is(err, ErrBadParameters) {
+		t.Fatalf("err = %v", err)
+	}
+	// Γ=5, L=9 gives Γ+K=8 (even).
+	rows, err := RunVerificationExperiment(5, 9, 64, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.Rounds == 0 || row.LowerBound <= 0 || row.UpperBound <= 0 {
+			t.Fatalf("row incomplete: %+v", row)
+		}
+	}
+	// On the Hamiltonian instance, Ham and spanning-connected verification
+	// accept while spanning-tree verification rejects (it has n edges).
+	byName := map[string]bool{}
+	for _, row := range rows {
+		byName[row.Problem] = row.Answer
+	}
+	if !byName["Hamiltonian cycle"] || !byName["connectivity"] || byName["spanning tree"] {
+		t.Fatalf("unexpected verdicts: %+v", byName)
+	}
+
+	// A 2-cycle instance is rejected by Ham but the degree check still accepts.
+	rows2, err := RunVerificationExperiment(5, 9, 64, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName2 := map[string]bool{}
+	for _, row := range rows2 {
+		byName2[row.Problem] = row.Answer
+	}
+	if byName2["Hamiltonian cycle"] || byName2["connectivity"] || !byName2["degree-two check (O(D))"] {
+		t.Fatalf("unexpected verdicts on 2-cycle instance: %+v", byName2)
+	}
+}
+
+func TestSimulationExperiment(t *testing.T) {
+	rep, err := SimulationExperiment(8, 257, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.WithinRoundBudget || !rep.WithinTheoremBound {
+		t.Fatalf("Theorem 3.5 accounting failed: %+v", rep)
+	}
+	if rep.ServerModelCost <= 0 {
+		t.Fatal("server-model cost should be positive")
+	}
+	if _, err := SimulationExperiment(6, 33, 64, 1); err == nil {
+		t.Fatal("odd Γ+K should be rejected")
+	}
+}
+
+func TestRunDisjointnessComparison(t *testing.T) {
+	if _, err := RunDisjointnessComparison(0, 1, 1, 1); !errors.Is(err, ErrBadParameters) {
+		t.Fatalf("err = %v", err)
+	}
+	small, err := RunDisjointnessComparison(1024, 1, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !small.QuantumWins {
+		t.Fatalf("quantum should win at D=8, b=1024: %+v", small)
+	}
+	if small.MeasuredClassicalRounds == 0 {
+		t.Fatal("the classical protocol should have been executed")
+	}
+	large, err := RunDisjointnessComparison(1024, 1, 900, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.QuantumWins {
+		t.Fatalf("classical should win at D=900: %+v", large)
+	}
+}

@@ -16,8 +16,9 @@ import (
 // evaluation-style content (there is no experimental section in the original
 // paper; Figures 1-13 and the bound statements play that role). Each
 // benchmark reports the quantities the corresponding figure displays via
-// b.ReportMetric, so `go test -bench . -benchmem` reproduces the numbers in
-// EXPERIMENTS.md; cmd/qdcbench prints the same rows as human-readable tables.
+// b.ReportMetric, so `go test -bench . -benchmem` regenerates the paper's
+// numbers; cmd/qdcbench prints the same rows as human-readable tables (see
+// DESIGN.md, "Benchmarks").
 
 // BenchmarkFigure1ProofPipeline runs the whole proof chain of Figure 1
 // (nonlocal-game bound -> server model -> gadget reduction -> lower-bound

@@ -22,13 +22,37 @@
 //   - internal/gadgets    — the IPmod3→Ham and Gap-Eq→Gap-Ham reductions
 //   - internal/lbnetwork  — the Θ(log L)-diameter lower-bound network
 //   - internal/simulation — the executable Quantum Simulation Theorem
-//   - internal/dist/...   — distributed upper-bound algorithms (BFS, MST,
-//     verification, Set Disjointness)
+//   - internal/dist/...   — distributed upper-bound algorithms (MST,
+//     verification, Set Disjointness) on the engine.Runner execution layer
 //   - internal/bounds     — the closed-form bounds of Figures 2 and 3
 //
-// This package exposes the experiment drivers that regenerate the paper's
-// figures and tables; cmd/qdcbench prints them, bench_test.go measures them,
-// and the examples/ directory demonstrates the API on the paper's headline
-// scenarios. See DESIGN.md for the system inventory and EXPERIMENTS.md for
-// paper-versus-measured results.
+// # The internal/dist execution layer
+//
+// Every distributed algorithm is a CONGEST node program executed through the
+// engine.Runner interface (internal/dist/engine): RunStage installs per-node
+// inputs, runs the program to global termination, and accumulates a Stats
+// total of stages, rounds, messages and bits. Two backends implement it:
+//
+//   - engine.NewLocal(topo, B, seed) — plain CONGEST(B) on any topology;
+//   - simulation.NewRunner(nw, B, seed) — the same execution on the
+//     lower-bound network, additionally charged to the Carol/David/server
+//     parties of the Quantum Simulation Theorem (Theorem 3.5).
+//
+// Because the algorithm code is backend-agnostic, the seven verification
+// algorithms of internal/dist/verify, the exact and α-approximate MST of
+// internal/dist/mst, and the Set Disjointness protocol of
+// internal/dist/disjointness all run unchanged under either cost model; the
+// degree-two check is the designated O(D)-round program that fits the
+// theorem's L/2 − 2 round budget. See DESIGN.md for the system inventory and
+// the engine/backends substitution table.
+//
+// # Quickstart
+//
+// examples/quickstart is the smallest end-to-end use of the library: it runs
+// the distributed MST algorithm on a simulated network and compares the
+// measured rounds against the paper's quantum lower bound. This package
+// exposes the experiment drivers that regenerate the paper's figures and
+// tables; cmd/qdcbench prints them, bench_test.go measures them, and the
+// examples/ directory demonstrates the API on the paper's headline
+// scenarios.
 package qdc

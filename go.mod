@@ -1,0 +1,3 @@
+module qdc
+
+go 1.24

@@ -1,0 +1,186 @@
+// Package disjointness reproduces Example 1.1 of the paper: two nodes at
+// hop distance D in a CONGEST(B) network hold b-bit sets X and Y and want to
+// decide whether X ∩ Y = ∅. Classically Θ(D + b/B) rounds are necessary and
+// sufficient (pipeline the bits along the path); the distributed-Grover
+// protocol needs O(√b · D) rounds, so quantum communication wins exactly
+// when the distance is small compared with √b — the one problem family in
+// the paper where a quantum speed-up does exist.
+//
+// The package provides the two cost formulas, the crossover diameter at
+// which the classical protocol takes over, and RunClassical, the real
+// pipelined protocol executed on a path network through engine.NewLocal.
+package disjointness
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"qdc/internal/congest"
+	"qdc/internal/dist/engine"
+	"qdc/internal/graph"
+)
+
+// ErrBadInput reports invalid protocol parameters.
+var ErrBadInput = errors.New("disjointness: invalid parameters")
+
+// ClassicalRounds is the Θ(D + b/B) round cost of the classical pipelined
+// protocol for b-bit inputs over bandwidth-B links at hop distance D.
+func ClassicalRounds(b, bandwidth, distance int) int {
+	if b < 1 || bandwidth < 1 || distance < 1 {
+		return 0
+	}
+	return distance + (b+bandwidth-1)/bandwidth
+}
+
+// QuantumRounds is the O(√b · D) round cost of the distributed Grover
+// protocol: √b search iterations, each propagating its query across the
+// distance D separating the two players.
+func QuantumRounds(b, distance int) int {
+	if b < 1 || distance < 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Sqrt(float64(b)))) * distance
+}
+
+// CrossoverDiameter returns the smallest distance D at which the classical
+// protocol is at least as fast as the quantum one, i.e. the diameter beyond
+// which the Example 1.1 speed-up disappears. For b <= 1 the quantum
+// protocol never loses and the crossover is reported as math.MaxInt32.
+func CrossoverDiameter(b, bandwidth int) int {
+	if b < 1 || bandwidth < 1 {
+		return 0
+	}
+	q := int(math.Ceil(math.Sqrt(float64(b))))
+	if q <= 1 {
+		return math.MaxInt32
+	}
+	c := (b + bandwidth - 1) / bandwidth
+	// Smallest D with q·D >= D + c.
+	return (c + q - 2) / (q - 1)
+}
+
+// Result is the outcome of one execution of the classical protocol.
+type Result struct {
+	// Disjoint reports whether the two sets are disjoint.
+	Disjoint bool
+	// Rounds is the measured CONGEST round count, Θ(D + b/B).
+	Rounds int
+	// Stats is the full communication accounting of the run.
+	Stats engine.Stats
+}
+
+// Payloads of the pipelined protocol. Unlike the multi-payload stages of
+// verify and mst, no engine.TagBits are charged: on a path the direction of
+// travel already distinguishes the two message kinds (data flows rightwards,
+// the answer leftwards), so a type tag would carry zero information — and
+// full-bandwidth chunks leave no room for one at B = 1, the bandwidth
+// Example 1.1 is stated at.
+type (
+	chunkMsg  struct{ Bits []int }
+	answerMsg struct{ Disjoint bool }
+)
+
+// pathInput assigns the endpoint inputs.
+type pathInput struct{ X, Y []int }
+
+// pathNode runs the pipelined protocol: the left endpoint streams X in
+// B-bit chunks, interior nodes forward the stream rightwards, the right
+// endpoint reassembles X, intersects it with Y and floods the one-bit
+// answer back; every node terminates once the answer passes through it.
+type pathNode struct {
+	x, y     []int
+	sent     int
+	received []int
+	answered bool
+}
+
+func (p *pathNode) Init(ctx *congest.Context) {
+	in, _ := ctx.Input().(pathInput)
+	p.x, p.y = in.X, in.Y
+}
+
+func (p *pathNode) Round(ctx *congest.Context, round int, inbox []congest.Message) ([]congest.Message, bool) {
+	id, last := ctx.ID(), ctx.N()-1
+	var out []congest.Message
+
+	for _, m := range inbox {
+		switch payload := m.Payload.(type) {
+		case chunkMsg:
+			if id == last {
+				p.received = append(p.received, payload.Bits...)
+			} else {
+				// Forward the stream rightwards, one hop per round.
+				out = append(out, congest.NewMessage(id+1, payload, len(payload.Bits)))
+			}
+		case answerMsg:
+			p.answered = true
+			ctx.SetOutput(payload.Disjoint)
+			if id > 0 {
+				out = append(out, congest.NewMessage(id-1, payload, congest.BitsForBool))
+			}
+		}
+	}
+
+	// Left endpoint: stream the next chunk of X.
+	if id == 0 && p.sent < len(p.x) {
+		hi := p.sent + ctx.Bandwidth()
+		if hi > len(p.x) {
+			hi = len(p.x)
+		}
+		chunk := p.x[p.sent:hi]
+		p.sent = hi
+		out = append(out, congest.NewMessage(1, chunkMsg{Bits: chunk}, len(chunk)))
+	}
+
+	// Right endpoint: once X has fully arrived, decide and answer.
+	if id == last && !p.answered && len(p.received) >= len(p.y) && len(p.y) > 0 {
+		disjoint := true
+		for i, yi := range p.y {
+			if yi == 1 && p.received[i] == 1 {
+				disjoint = false
+				break
+			}
+		}
+		p.answered = true
+		ctx.SetOutput(disjoint)
+		out = append(out, congest.NewMessage(id-1, answerMsg{Disjoint: disjoint}, congest.BitsForBool))
+	}
+
+	return out, p.answered
+}
+
+// RunClassical executes the pipelined protocol on a fresh path of the given
+// number of nodes: node 0 holds x, the node at the far end holds y, and the
+// link bandwidth is B bits per round. It returns the network-wide verdict
+// and the measured Θ(D + b/B) cost.
+func RunClassical(nodes, bandwidth int, x, y []int, seed int64) (*Result, error) {
+	if nodes < 2 || bandwidth < 1 || len(x) < 1 || len(x) != len(y) {
+		return nil, fmt.Errorf("%w: nodes=%d B=%d |x|=%d |y|=%d", ErrBadInput, nodes, bandwidth, len(x), len(y))
+	}
+	for i := range x {
+		if x[i]&^1 != 0 || y[i]&^1 != 0 {
+			return nil, fmt.Errorf("%w: inputs must be 0/1 bit slices", ErrBadInput)
+		}
+	}
+	r, err := engine.NewLocal(graph.Path(nodes), bandwidth, seed)
+	if err != nil {
+		return nil, err
+	}
+	inputs := map[int]any{
+		0:         pathInput{X: x},
+		nodes - 1: pathInput{Y: y},
+	}
+	chunks := (len(x) + bandwidth - 1) / bandwidth
+	maxRounds := chunks + 2*nodes + 16
+	res, err := r.RunStage(func(*congest.Context) congest.Node { return &pathNode{} }, inputs, maxRounds)
+	if err != nil {
+		return nil, err
+	}
+	verdict, ok := res.Outputs[0].(bool)
+	if !ok {
+		return nil, fmt.Errorf("disjointness: protocol produced no verdict")
+	}
+	stats := r.Stats()
+	return &Result{Disjoint: verdict, Rounds: stats.Rounds, Stats: stats}, nil
+}

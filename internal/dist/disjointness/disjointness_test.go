@@ -1,0 +1,117 @@
+package disjointness_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"qdc/internal/dist/disjointness"
+)
+
+func TestCostFormulas(t *testing.T) {
+	if got := disjointness.ClassicalRounds(1024, 1, 8); got != 1032 {
+		t.Fatalf("ClassicalRounds(1024,1,8) = %d, want 1032", got)
+	}
+	if got := disjointness.ClassicalRounds(100, 32, 5); got != 5+4 {
+		t.Fatalf("ClassicalRounds(100,32,5) = %d, want 9", got)
+	}
+	if got := disjointness.QuantumRounds(1024, 8); got != 32*8 {
+		t.Fatalf("QuantumRounds(1024,8) = %d, want 256", got)
+	}
+	// Degenerate parameters yield 0, never a panic.
+	if got := disjointness.CrossoverDiameter(1024, 0); got != 0 {
+		t.Fatalf("CrossoverDiameter(1024,0) = %d, want 0", got)
+	}
+	if got := disjointness.CrossoverDiameter(-3, 1); got != 0 {
+		t.Fatalf("CrossoverDiameter(-3,1) = %d, want 0", got)
+	}
+}
+
+func TestCrossoverSeparatesRegimes(t *testing.T) {
+	b, bandwidth := 1024, 1
+	cross := disjointness.CrossoverDiameter(b, bandwidth)
+	if cross <= 1 {
+		t.Fatalf("crossover = %d", cross)
+	}
+	// Below the crossover quantum wins; at and beyond it classical does.
+	if q, c := disjointness.QuantumRounds(b, cross-1), disjointness.ClassicalRounds(b, bandwidth, cross-1); q >= c {
+		t.Fatalf("quantum should win just below the crossover: q=%d c=%d", q, c)
+	}
+	if q, c := disjointness.QuantumRounds(b, cross), disjointness.ClassicalRounds(b, bandwidth, cross); q < c {
+		t.Fatalf("classical should win at the crossover: q=%d c=%d", q, c)
+	}
+}
+
+func TestRunClassicalVerdicts(t *testing.T) {
+	x := []int{1, 0, 1, 0, 1, 0, 0, 1}
+	yDisjoint := []int{0, 1, 0, 1, 0, 1, 1, 0}
+	yHit := []int{0, 1, 0, 1, 1, 0, 0, 0}
+
+	res, err := disjointness.RunClassical(5, 2, x, yDisjoint, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Disjoint {
+		t.Fatal("disjoint inputs reported as intersecting")
+	}
+	res2, err := disjointness.RunClassical(5, 2, x, yHit, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Disjoint {
+		t.Fatal("intersecting inputs reported as disjoint")
+	}
+}
+
+// The measured round count of the real protocol matches the Θ(D + b/B)
+// formula: pipelining the b bits over distance D plus the answer's way back
+// costs between D + ⌈b/B⌉ and twice that (the formula counts one-way
+// delivery; the run includes the return trip).
+func TestRunClassicalMatchesFormula(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, tc := range []struct{ nodes, bandwidth, bits int }{
+		{6, 4, 64},
+		{9, 1, 128},
+		{2, 8, 33},
+		{17, 16, 1024},
+	} {
+		x := make([]int, tc.bits)
+		y := make([]int, tc.bits)
+		for i := range x {
+			x[i] = rng.Intn(2)
+			y[i] = 1 - x[i]
+		}
+		res, err := disjointness.RunClassical(tc.nodes, tc.bandwidth, x, y, 1)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if !res.Disjoint {
+			t.Fatalf("%+v: complementary inputs must be disjoint", tc)
+		}
+		formula := disjointness.ClassicalRounds(tc.bits, tc.bandwidth, tc.nodes-1)
+		if res.Rounds < formula || res.Rounds > 2*formula+4 {
+			t.Fatalf("%+v: measured %d rounds, formula predicts Θ(%d)", tc, res.Rounds, formula)
+		}
+		if res.Stats.Bits < int64(tc.bits) {
+			t.Fatalf("%+v: only %d bits on the wire for a %d-bit input", tc, res.Stats.Bits, tc.bits)
+		}
+	}
+}
+
+func TestRunClassicalValidation(t *testing.T) {
+	x := []int{1, 0}
+	for _, tc := range []struct {
+		nodes, bandwidth int
+		x, y             []int
+	}{
+		{1, 1, x, x},
+		{3, 0, x, x},
+		{3, 1, x, []int{1}},
+		{3, 1, []int{}, []int{}},
+		{3, 1, []int{2, 0}, x},
+	} {
+		if _, err := disjointness.RunClassical(tc.nodes, tc.bandwidth, tc.x, tc.y, 1); !errors.Is(err, disjointness.ErrBadInput) {
+			t.Fatalf("%+v: err = %v, want ErrBadInput", tc, err)
+		}
+	}
+}

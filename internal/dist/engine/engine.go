@@ -1,0 +1,158 @@
+// Package engine defines the execution layer shared by every distributed
+// algorithm in internal/dist: a Runner abstraction under which a CONGEST node
+// program (a congest.NodeFactory) can be executed in stages, with aggregated
+// round/message/bit accounting, independent of the backend that actually
+// carries the messages.
+//
+// Two backends implement Runner today:
+//
+//   - NewLocal (this package) runs stages directly on a congest.Network —
+//     the plain CONGEST(B) model of Section 2.1 of the paper.
+//   - simulation.Runner (internal/simulation) runs the same stages on the
+//     lower-bound network while re-accounting every message to the three
+//     parties of the Server model (the Quantum Simulation Theorem,
+//     Theorem 3.5).
+//
+// Because both backends expose the identical RunStage contract, every
+// algorithm in internal/dist/{verify,mst,disjointness} executes unchanged
+// under either accounting; see DESIGN.md for the substitution table.
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"qdc/internal/congest"
+)
+
+// ErrNilTopology reports a local runner constructed without a topology.
+var ErrNilTopology = errors.New("engine: nil topology")
+
+// TagBits is the message-type tag size every dist algorithm charges on top
+// of a payload's fields, so mixed-payload stages stay honestly accounted.
+const TagBits = 2
+
+// UniformInputs spreads one input value per node into the map RunStage
+// expects.
+func UniformInputs[In any](vals []In) map[int]any {
+	out := make(map[int]any, len(vals))
+	for v, val := range vals {
+		out[v] = val
+	}
+	return out
+}
+
+// RunUniform executes one stage in which every node receives inputs[v] and
+// is expected to output a value of type Out; `what` names the output in the
+// error when a node fails to produce one.
+func RunUniform[In any, Out any](r Runner, inputs []In, factory congest.NodeFactory, maxRounds int, what string) ([]Out, error) {
+	res, err := r.RunStage(factory, UniformInputs(inputs), maxRounds)
+	if err != nil {
+		return nil, err
+	}
+	n := r.Size()
+	out := make([]Out, n)
+	for v := 0; v < n; v++ {
+		o, ok := res.Outputs[v].(Out)
+		if !ok {
+			return nil, fmt.Errorf("engine: node %d produced no %s", v, what)
+		}
+		out[v] = o
+	}
+	return out, nil
+}
+
+// Stats aggregates the cost of every stage executed by a Runner so far.
+type Stats struct {
+	// Stages is the number of RunStage calls that executed.
+	Stages int
+	// Rounds is the total number of synchronous rounds across all stages.
+	Rounds int
+	// Messages is the total number of messages delivered.
+	Messages int
+	// Bits is the total number of bits sent over all edges in all rounds.
+	Bits int64
+}
+
+// Sub returns the difference s − prev, the cost incurred between two
+// snapshots of the same Runner. It is how algorithms report their own cost
+// when sharing a Runner with earlier stages.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Stages:   s.Stages - prev.Stages,
+		Rounds:   s.Rounds - prev.Rounds,
+		Messages: s.Messages - prev.Messages,
+		Bits:     s.Bits - prev.Bits,
+	}
+}
+
+// Runner executes CONGEST node programs stage by stage on some backend.
+//
+// A stage is one complete run of a node program on every node of the
+// network: RunStage installs the per-node inputs, runs the factory's nodes
+// until global termination (or maxRounds; maxRounds <= 0 selects the
+// backend's default), and returns the per-stage result. Stats accumulate
+// across stages, so a multi-stage algorithm's total cost is the difference
+// between the Stats snapshots taken around its stages.
+type Runner interface {
+	// RunStage executes one node program to completion.
+	RunStage(factory congest.NodeFactory, inputs map[int]any, maxRounds int) (*congest.Result, error)
+	// Bandwidth returns the per-edge, per-round bit budget B.
+	Bandwidth() int
+	// Size returns the number of nodes of the underlying network.
+	Size() int
+	// Stats returns the accumulated cost of all stages run so far.
+	Stats() Stats
+}
+
+// Local is the plain CONGEST(B) backend: stages run directly on a
+// congest.Network with no extra accounting.
+type Local struct {
+	net   *congest.Network
+	stats Stats
+}
+
+// NewLocal returns a Runner executing stages on a fresh CONGEST network over
+// the given topology. A bandwidth <= 0 selects congest.DefaultBandwidth.
+func NewLocal(topo congest.Topology, bandwidth int, seed int64) (*Local, error) {
+	if topo == nil {
+		return nil, ErrNilTopology
+	}
+	net, err := congest.NewNetwork(topo, bandwidth)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	net.SetSeed(seed)
+	return &Local{net: net}, nil
+}
+
+// RunStage implements Runner.
+func (l *Local) RunStage(factory congest.NodeFactory, inputs map[int]any, maxRounds int) (*congest.Result, error) {
+	l.net.ClearInputs()
+	for id, in := range inputs {
+		l.net.SetInput(id, in)
+	}
+	res, err := l.net.Run(factory, congest.Options{MaxRounds: maxRounds})
+	if res != nil {
+		l.stats.Stages++
+		l.stats.Rounds += res.Rounds
+		l.stats.Messages += res.TotalMessages
+		l.stats.Bits += res.TotalBits
+	}
+	if err != nil {
+		return res, fmt.Errorf("engine: stage %d: %w", l.stats.Stages, err)
+	}
+	return res, nil
+}
+
+// Bandwidth implements Runner.
+func (l *Local) Bandwidth() int { return l.net.Bandwidth() }
+
+// Size implements Runner.
+func (l *Local) Size() int { return l.net.Size() }
+
+// Stats implements Runner.
+func (l *Local) Stats() Stats { return l.stats }
+
+// Compile-time interface check.
+var _ Runner = (*Local)(nil)

@@ -1,0 +1,204 @@
+package verify
+
+import (
+	"fmt"
+
+	"qdc/internal/congest"
+	"qdc/internal/dist/engine"
+)
+
+// agg is the value combined up the BFS tree by the aggregation stage: one
+// ANDed flag plus three summed counters. Every verification predicate in
+// this package is a function of one such aggregate, so a single O(D)-round
+// convergecast answers all of them.
+type agg struct {
+	// OK is ANDed across nodes (true when every node's local check passes).
+	OK bool
+	// Supported counts nodes with at least one incident M-edge.
+	Supported int
+	// Leaders counts supported nodes whose component label equals their ID,
+	// i.e. the number of connected components of M.
+	Leaders int
+	// Degree sums the M-degrees, so Degree/2 is the number of M-edges.
+	Degree int
+}
+
+func combine(a, b agg) agg {
+	return agg{
+		OK:        a.OK && b.OK,
+		Supported: a.Supported + b.Supported,
+		Leaders:   a.Leaders + b.Leaders,
+		Degree:    a.Degree + b.Degree,
+	}
+}
+
+// Message payloads of the aggregation stage. Every payload carries a small
+// type tag (2 bits) plus its fields.
+type (
+	tokenMsg struct{ Dist int }     // BFS wave; Dist is the receiver's depth
+	childMsg struct{ IsChild bool } // reply to a token
+	upMsg    struct{ Agg agg }      // convergecast of the combined aggregate
+	downMsg  struct{ Answer bool }  // broadcast of the root's verdict
+)
+
+const tagBits = engine.TagBits
+
+func tokenBits(dist int) int { return tagBits + congest.BitsForInt(dist) }
+func upBits(a agg) int {
+	return tagBits + congest.BitsForBool +
+		congest.BitsForInt(a.Supported) + congest.BitsForInt(a.Leaders) + congest.BitsForInt(a.Degree)
+}
+
+const (
+	childBits = tagBits + congest.BitsForBool
+	downBits  = tagBits + congest.BitsForBool
+)
+
+// aggInput is the per-node input of the aggregation stage: the node's local
+// contribution, computed from its own problem input (and the outputs of its
+// earlier stages, fed back to the same node).
+type aggInput struct{ Local agg }
+
+// aggNode implements the O(D)-round global aggregation: a BFS tree is grown
+// from node 0 with explicit child detection, the aggregates are combined
+// bottom-up along the tree, the root evaluates the decision predicate, and
+// the one-bit verdict is broadcast back down. Every message is O(log n)
+// bits, so the whole stage fits the CONGEST budget and — crucially for the
+// degree-two check of Theorem 3.5 — finishes in O(D) rounds.
+type aggNode struct {
+	decide func(agg) bool
+
+	acc        agg
+	dist       int
+	parent     int
+	pending    map[int]struct{}
+	children   []int
+	childUps   int
+	sentUp     bool
+	answer     bool
+	haveAnswer bool
+	answered   bool
+}
+
+func newAggNode(ctx *congest.Context, decide func(agg) bool) *aggNode {
+	in, _ := ctx.Input().(aggInput)
+	return &aggNode{decide: decide, acc: in.Local, dist: -1, parent: -1}
+}
+
+func (a *aggNode) Init(ctx *congest.Context) {
+	if ctx.ID() == 0 {
+		a.dist = 0
+	}
+}
+
+func (a *aggNode) Round(ctx *congest.Context, round int, inbox []congest.Message) ([]congest.Message, bool) {
+	var out []congest.Message
+
+	// The root starts the BFS wave in round 1.
+	if round == 1 && ctx.ID() == 0 {
+		a.pending = make(map[int]struct{})
+		for _, v := range ctx.Neighbors() {
+			a.pending[v] = struct{}{}
+			out = append(out, congest.NewMessage(v, tokenMsg{Dist: 1}, tokenBits(1)))
+		}
+	}
+
+	var tokenSenders []int
+	tokenDist := -1
+	for _, m := range inbox {
+		switch p := m.Payload.(type) {
+		case tokenMsg:
+			tokenSenders = append(tokenSenders, m.From)
+			tokenDist = p.Dist
+		case childMsg:
+			delete(a.pending, m.From)
+			if p.IsChild {
+				a.children = append(a.children, m.From)
+			}
+		case upMsg:
+			a.acc = combine(a.acc, p.Agg)
+			a.childUps++
+		case downMsg:
+			a.answer = p.Answer
+			a.haveAnswer = true
+		}
+	}
+
+	if len(tokenSenders) > 0 {
+		if a.dist == -1 {
+			// First contact: adopt the wave, pick the smallest sender as
+			// parent, reply to every sender, and extend the wave to all
+			// remaining neighbours.
+			a.dist = tokenDist
+			a.parent = tokenSenders[0]
+			for _, s := range tokenSenders {
+				if s < a.parent {
+					a.parent = s
+				}
+			}
+			sender := make(map[int]struct{}, len(tokenSenders))
+			for _, s := range tokenSenders {
+				sender[s] = struct{}{}
+				out = append(out, congest.NewMessage(s, childMsg{IsChild: s == a.parent}, childBits))
+			}
+			a.pending = make(map[int]struct{})
+			for _, v := range ctx.Neighbors() {
+				if _, dup := sender[v]; dup {
+					continue
+				}
+				a.pending[v] = struct{}{}
+				out = append(out, congest.NewMessage(v, tokenMsg{Dist: a.dist + 1}, tokenBits(a.dist+1)))
+			}
+		} else {
+			// Late tokens from same-depth neighbours: decline.
+			for _, s := range tokenSenders {
+				out = append(out, congest.NewMessage(s, childMsg{IsChild: false}, childBits))
+			}
+		}
+	}
+
+	// Convergecast: once the child set is final and every child has
+	// reported, push the combined aggregate towards the root.
+	if !a.sentUp && a.dist != -1 && len(a.pending) == 0 && a.childUps == len(a.children) {
+		a.sentUp = true
+		if ctx.ID() == 0 {
+			a.answer = a.decide(a.acc)
+			a.haveAnswer = true
+		} else {
+			out = append(out, congest.NewMessage(a.parent, upMsg{Agg: a.acc}, upBits(a.acc)))
+		}
+	}
+
+	// Broadcast: forward the verdict down the tree and terminate.
+	if a.haveAnswer && !a.answered {
+		a.answered = true
+		for _, c := range a.children {
+			out = append(out, congest.NewMessage(c, downMsg{Answer: a.answer}, downBits))
+		}
+		ctx.SetOutput(a.answer)
+	}
+
+	return out, a.answered
+}
+
+// runAggregate executes one aggregation stage on the runner: every node
+// contributes local(v), the root evaluates decide over the combined
+// aggregate, and the verdict every node agreed on is returned. It costs
+// O(D) rounds and O(log n) bits per message.
+func runAggregate(r engine.Runner, local func(v int) agg, decide func(agg) bool) (bool, error) {
+	n := r.Size()
+	inputs := make(map[int]any, n)
+	for v := 0; v < n; v++ {
+		inputs[v] = aggInput{Local: local(v)}
+	}
+	factory := func(ctx *congest.Context) congest.Node { return newAggNode(ctx, decide) }
+	res, err := r.RunStage(factory, inputs, 0)
+	if err != nil {
+		return false, err
+	}
+	out, ok := res.Outputs[0].(bool)
+	if !ok {
+		return false, fmt.Errorf("verify: aggregation root produced no verdict")
+	}
+	return out, nil
+}

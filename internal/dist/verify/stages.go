@@ -1,0 +1,156 @@
+package verify
+
+import (
+	"qdc/internal/congest"
+	"qdc/internal/dist/engine"
+	"qdc/internal/graph"
+)
+
+// mAdjacency restricts the subnetwork M to the edges actually present in g
+// and returns, for every node, the sorted list of its M-neighbours — the
+// node-local view of M that the verification problems of Section 2.2 assume
+// (each node knows which of its incident edges belong to M).
+func mAdjacency(g *graph.Graph, m *graph.EdgeSet) [][]int {
+	adj := make([][]int, g.N())
+	for _, e := range g.Edges() {
+		if m.Contains(e.U, e.V) {
+			adj[e.U] = append(adj[e.U], e.V)
+			adj[e.V] = append(adj[e.V], e.U)
+		}
+	}
+	return adj
+}
+
+// labelInput is the per-node input of the component-labelling stage.
+type labelInput struct{ MNbrs []int }
+
+// labelNode floods the minimum node ID along M-edges for n rounds, after
+// which every node's label is the smallest ID in its M-component (the
+// M-diameter is at most n−1, so n propagation rounds always suffice). The
+// component leaders — nodes whose label equals their own ID — then identify
+// the components for the aggregation stage.
+type labelNode struct {
+	mNbrs    []int
+	label    int
+	lastSent int
+}
+
+func (l *labelNode) Init(ctx *congest.Context) {
+	in, _ := ctx.Input().(labelInput)
+	l.mNbrs = in.MNbrs
+	l.label = ctx.ID()
+	l.lastSent = -1
+}
+
+func (l *labelNode) Round(ctx *congest.Context, round int, inbox []congest.Message) ([]congest.Message, bool) {
+	for _, m := range inbox {
+		if v, ok := m.Payload.(int); ok && v < l.label {
+			l.label = v
+		}
+	}
+	n := ctx.N()
+	if round > n {
+		ctx.SetOutput(l.label)
+		return nil, true
+	}
+	if l.label != l.lastSent {
+		l.lastSent = l.label
+		bits := tagBits + congest.BitsForID(n)
+		return congest.Broadcast(l.mNbrs, l.label, bits), false
+	}
+	return nil, false
+}
+
+// runLabels executes the component-labelling stage and returns the label of
+// every node.
+func runLabels(r engine.Runner, mAdj [][]int) ([]int, error) {
+	inputs := make([]labelInput, len(mAdj))
+	for v := range mAdj {
+		inputs[v] = labelInput{MNbrs: mAdj[v]}
+	}
+	factory := func(*congest.Context) congest.Node { return &labelNode{} }
+	return engine.RunUniform[labelInput, int](r, inputs, factory, r.Size()+8, "component label")
+}
+
+// colorInput is the per-node input of the 2-colouring stage.
+type colorInput struct {
+	MNbrs    []int
+	IsLeader bool
+}
+
+// Payloads of the colouring stage.
+type (
+	distMsg  struct{ D int }
+	colorMsg struct{ C int }
+)
+
+// colorNode 2-colours each M-component by BFS-layer parity: component
+// leaders are at distance 0, M-BFS distances propagate for n rounds, each
+// node's colour is its distance parity, and one final exchange over M-edges
+// detects monochromatic edges — which exist iff the component contains an
+// odd cycle (iff M is not bipartite).
+type colorNode struct {
+	mNbrs    []int
+	dist     int
+	lastSent int
+	conflict bool
+}
+
+func (c *colorNode) Init(ctx *congest.Context) {
+	in, _ := ctx.Input().(colorInput)
+	c.mNbrs = in.MNbrs
+	c.dist = -1
+	c.lastSent = -1
+	if in.IsLeader {
+		c.dist = 0
+	}
+}
+
+func (c *colorNode) color() int {
+	if c.dist < 0 {
+		return 0
+	}
+	return c.dist % 2
+}
+
+func (c *colorNode) Round(ctx *congest.Context, round int, inbox []congest.Message) ([]congest.Message, bool) {
+	n := ctx.N()
+	for _, m := range inbox {
+		switch p := m.Payload.(type) {
+		case distMsg:
+			if cand := p.D + 1; c.dist == -1 || cand < c.dist {
+				c.dist = cand
+			}
+		case colorMsg:
+			if p.C == c.color() {
+				c.conflict = true
+			}
+		}
+	}
+	switch {
+	case round <= n:
+		if c.dist != -1 && c.dist != c.lastSent {
+			c.lastSent = c.dist
+			bits := tagBits + congest.BitsForInt(c.dist)
+			return congest.Broadcast(c.mNbrs, distMsg{D: c.dist}, bits), false
+		}
+		return nil, false
+	case round == n+1:
+		bits := tagBits + congest.BitsForBool
+		return congest.Broadcast(c.mNbrs, colorMsg{C: c.color()}, bits), false
+	default:
+		ctx.SetOutput(c.conflict)
+		return nil, true
+	}
+}
+
+// runColors executes the 2-colouring stage and returns, per node, whether it
+// saw a monochromatic M-edge.
+func runColors(r engine.Runner, mAdj [][]int, labels []int) ([]bool, error) {
+	inputs := make([]colorInput, len(mAdj))
+	for v := range mAdj {
+		inputs[v] = colorInput{MNbrs: mAdj[v], IsLeader: labels[v] == v}
+	}
+	factory := func(*congest.Context) congest.Node { return &colorNode{} }
+	return engine.RunUniform[colorInput, bool](r, inputs, factory, r.Size()+8, "colouring verdict")
+}

@@ -1,0 +1,194 @@
+package verify_test
+
+import (
+	"testing"
+
+	"qdc/internal/dist/engine"
+	"qdc/internal/dist/verify"
+	"qdc/internal/graph"
+	"qdc/internal/lbnetwork"
+	"qdc/internal/simulation"
+)
+
+func localRunner(t *testing.T, g *graph.Graph) engine.Runner {
+	t.Helper()
+	r, err := engine.NewLocal(g, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func edgeSetOf(g *graph.Graph) *graph.EdgeSet {
+	return graph.NewEdgeSetFrom(g.Edges())
+}
+
+type verifier func(engine.Runner, *graph.Graph, *graph.EdgeSet) (*verify.Outcome, error)
+
+// check runs one verifier on a fresh runner and asserts the verdict.
+func check(t *testing.T, name string, fn verifier, g *graph.Graph, m *graph.EdgeSet, want bool) {
+	t.Helper()
+	out, err := fn(localRunner(t, g), g, m)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if out.Answer != want {
+		t.Fatalf("%s = %v, want %v", name, out.Answer, want)
+	}
+	if out.Stats.Rounds <= 0 || out.Stats.Messages <= 0 || out.Stats.Bits <= 0 {
+		t.Fatalf("%s: empty accounting: %+v", name, out.Stats)
+	}
+}
+
+func TestVerifiersOnFullCycle(t *testing.T) {
+	g, err := graph.Cycle(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := edgeSetOf(g) // M = the whole 6-cycle
+	check(t, "DegreeTwoCheck", verify.DegreeTwoCheck, g, m, true)
+	check(t, "HamiltonianCycle", verify.HamiltonianCycle, g, m, true)
+	check(t, "SpanningConnectedSubgraph", verify.SpanningConnectedSubgraph, g, m, true)
+	check(t, "Connectivity", verify.Connectivity, g, m, true)
+	check(t, "SpanningTree", verify.SpanningTree, g, m, false) // n edges, not n-1
+	check(t, "CycleContainment", verify.CycleContainment, g, m, true)
+	check(t, "Bipartiteness", verify.Bipartiteness, g, m, true) // even cycle
+}
+
+func TestVerifiersOnHamiltonianPath(t *testing.T) {
+	g, err := graph.Cycle(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := edgeSetOf(g)
+	m.Remove(5, 0) // drop one edge: M is now a Hamiltonian path
+	check(t, "DegreeTwoCheck", verify.DegreeTwoCheck, g, m, false)
+	check(t, "HamiltonianCycle", verify.HamiltonianCycle, g, m, false)
+	check(t, "SpanningConnectedSubgraph", verify.SpanningConnectedSubgraph, g, m, true)
+	check(t, "Connectivity", verify.Connectivity, g, m, true)
+	check(t, "SpanningTree", verify.SpanningTree, g, m, true) // path = spanning tree
+	check(t, "CycleContainment", verify.CycleContainment, g, m, false)
+	check(t, "Bipartiteness", verify.Bipartiteness, g, m, true)
+}
+
+func TestVerifiersOnOddCyclesAndDisconnection(t *testing.T) {
+	// Two triangles {0,1,2} and {3,4,5} joined by the bridge 2-3; M is the
+	// two triangles only.
+	g := graph.New(6)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}} {
+		g.MustAddEdge(e[0], e[1], 1)
+	}
+	m := graph.NewEdgeSet()
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}} {
+		m.Add(e[0], e[1])
+	}
+	check(t, "DegreeTwoCheck", verify.DegreeTwoCheck, g, m, true)
+	check(t, "HamiltonianCycle", verify.HamiltonianCycle, g, m, false) // two components
+	check(t, "SpanningConnectedSubgraph", verify.SpanningConnectedSubgraph, g, m, false)
+	check(t, "Connectivity", verify.Connectivity, g, m, false)
+	check(t, "SpanningTree", verify.SpanningTree, g, m, false)
+	check(t, "CycleContainment", verify.CycleContainment, g, m, true)
+	check(t, "Bipartiteness", verify.Bipartiteness, g, m, false) // odd cycles
+}
+
+func TestVerifiersOnEmptySubnetwork(t *testing.T) {
+	g := graph.Complete(5)
+	m := graph.NewEdgeSet()
+	check(t, "Connectivity", verify.Connectivity, g, m, true) // vacuously
+	check(t, "SpanningConnectedSubgraph", verify.SpanningConnectedSubgraph, g, m, false)
+	check(t, "CycleContainment", verify.CycleContainment, g, m, false)
+	check(t, "DegreeTwoCheck", verify.DegreeTwoCheck, g, m, false)
+}
+
+func TestNilInputsRejected(t *testing.T) {
+	g := graph.Path(3)
+	if _, err := verify.DegreeTwoCheck(nil, g, graph.NewEdgeSet()); err == nil {
+		t.Fatal("nil runner accepted")
+	}
+	if _, err := verify.DegreeTwoCheck(localRunner(t, g), nil, nil); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+// The degree-two check uses a single O(D)-round aggregation, so on a
+// low-diameter graph it must finish in far fewer rounds than the
+// label-propagation verifiers, which genuinely pay Θ(n).
+func TestDegreeCheckIsDiameterBound(t *testing.T) {
+	g := graph.Grid(8, 8) // n=64, D=14
+	m := edgeSetOf(g)
+	deg, err := verify.DegreeTwoCheck(localRunner(t, g), g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ham, err := verify.HamiltonianCycle(localRunner(t, g), g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg.Stats.Rounds >= g.N() {
+		t.Fatalf("degree check took %d rounds on n=%d, D=%d", deg.Stats.Rounds, g.N(), g.Diameter())
+	}
+	if ham.Stats.Rounds <= deg.Stats.Rounds {
+		t.Fatalf("full verification (%d rounds) should cost more than the degree check (%d rounds)",
+			ham.Stats.Rounds, deg.Stats.Rounds)
+	}
+}
+
+// Acceptance criterion of the dist layer: both backends implement
+// engine.Runner, and the degree-two check run under the simulation backend
+// charges Server-model cost consistent with Theorem 3.5 — at most the
+// O(B·log L) per-round bound, within the L/2 − 2 round budget.
+func TestDegreeCheckUnderBothBackends(t *testing.T) {
+	nw, err := lbnetwork.New(8, 257)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec, ed, err := graph.CyclePairings(nw.EndpointCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb, err := nw.Embed(ec, ed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var backends = map[string]engine.Runner{}
+	local, err := engine.NewLocal(nw.Graph, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := simulation.NewRunner(nw, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends["local"], backends["simulation"] = local, sim
+
+	rounds := map[string]int{}
+	for name, r := range backends {
+		out, err := verify.DegreeTwoCheck(r, nw.Graph, emb.M)
+		if err != nil {
+			t.Fatalf("%s backend: %v", name, err)
+		}
+		if !out.Answer {
+			t.Fatalf("%s backend rejected the embedded M", name)
+		}
+		rounds[name] = out.Stats.Rounds
+	}
+	// The same algorithm costs the same number of rounds under either
+	// backend; only the accounting differs.
+	if rounds["local"] != rounds["simulation"] {
+		t.Fatalf("round counts diverge across backends: %+v", rounds)
+	}
+
+	rep := sim.Report()
+	if !rep.WithinRoundBudget {
+		t.Fatalf("degree check took %d rounds, budget %d", rep.Rounds, nw.MaxSimulationRounds())
+	}
+	perRound := sim.PerRoundBound()
+	if rep.ServerModelCost > perRound*int64(rep.Rounds) {
+		t.Fatalf("charged %d bits over %d rounds, exceeding the O(B log L)=%d per-round bound",
+			rep.ServerModelCost, rep.Rounds, perRound)
+	}
+	if rep.ServerModelCost <= 0 {
+		t.Fatal("simulation should charge some Carol/David communication")
+	}
+}

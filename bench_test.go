@@ -6,6 +6,7 @@ import (
 
 	"qdc/internal/comm"
 	"qdc/internal/dist/disjointness"
+	"qdc/internal/exp"
 	"qdc/internal/gadgets"
 	"qdc/internal/lbnetwork"
 	"qdc/internal/nonlocal"
@@ -353,6 +354,31 @@ func BenchmarkAblationMSTApproxAlpha(b *testing.B) {
 	}
 	b.ReportMetric(ratio2, "approx_ratio_alpha2")
 	b.ReportMetric(ratio8, "approx_ratio_alpha8")
+}
+
+// BenchmarkExperimentMatrix drives the internal/exp harness end to end: the
+// quick scenario matrix (three topology families, three algorithm classes,
+// local and parallel backends) expanded and executed through the worker
+// pool. It is the BENCH trajectory's throughput number for the sweeps
+// cmd/qdcbench -matrix runs at larger scale.
+func BenchmarkExperimentMatrix(b *testing.B) {
+	m, ok := exp.LookupMatrix("quick")
+	if !ok {
+		b.Fatal("quick matrix not registered")
+	}
+	var sum exp.Summary
+	for i := 0; i < b.N; i++ {
+		var err error
+		sum, err = exp.Execute(m.Expand(), exp.ExecOptions{Workers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.Failed > 0 {
+			b.Fatalf("%d scenarios failed", sum.Failed)
+		}
+	}
+	b.ReportMetric(float64(sum.Scenarios), "scenarios")
+	b.ReportMetric(float64(sum.Scenarios)/(sum.WallMillis/1000), "scenarios_per_sec")
 }
 
 // BenchmarkAblationGroverIterations reports Grover's success probability as

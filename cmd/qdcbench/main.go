@@ -1,87 +1,227 @@
-// Command qdcbench regenerates the paper's tables and figures as text
-// tables: the Figure 2 bounds table, the Figure 3 MST curves (with measured
-// runs), the server-model hardness table of Theorems 3.4/6.1, the
-// Theorem 3.5 simulation accounting, and the Example 1.1 comparison.
+// Command qdcbench drives the repository's experiments from the command
+// line, in two modes.
 //
-// Usage:
+// Matrix mode runs a named scenario matrix through the internal/exp worker
+// pool and writes machine-readable results, the pipeline BENCH_*.json
+// snapshots are produced with:
+//
+//	qdcbench -matrix default -workers 8 -json BENCH_default.json
+//	qdcbench -matrix quick -jsonl run.jsonl
+//	qdcbench -matrix default -json new.json -baseline BENCH_default.json
+//	qdcbench -list
+//
+// With -baseline the run is diffed against an earlier results file and any
+// regression (a newly failing scenario, or more rounds/bits on the same
+// deterministic scenario) makes the command exit non-zero.
+//
+// Table mode regenerates the paper's tables and figures as text: the
+// Figure 2 bounds table, the Figure 3 MST curves, the server-model hardness
+// table of Theorems 3.4/6.1, the Theorem 3.5 simulation accounting, and the
+// Example 1.1 comparison.
 //
 //	qdcbench -figure 2        # the Figure 2 bounds table
 //	qdcbench -figure 3        # the Figure 3 curves + measured MST runs
 //	qdcbench -example 1.1     # Example 1.1 classical vs quantum Disjointness
 //	qdcbench -experiment sim  # Theorem 3.5 three-party simulation accounting
-//	qdcbench -experiment server  # server-model bounds vs trivial protocols
-//	qdcbench -all             # everything
+//	qdcbench -all             # every table
+//
+// Every failure path exits with a non-zero status so CI smoke runs catch
+// broken experiments instead of accepting partial tables.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"qdc"
+	"qdc/internal/exp"
 )
 
 func main() {
-	figure := flag.Int("figure", 0, "regenerate a figure: 2 or 3")
-	example := flag.String("example", "", "regenerate an example: 1.1")
-	experiment := flag.String("experiment", "", "run an experiment: sim, server, verify, pipeline")
-	all := flag.Bool("all", false, "regenerate everything")
-	n := flag.Int("n", 100_000, "network size for the formula tables")
-	bandwidth := flag.Int("B", 32, "per-edge bandwidth in bits per round")
-	alpha := flag.Float64("alpha", 2, "approximation factor")
-	aspect := flag.Float64("W", 1e5, "weight aspect ratio")
-	flag.Parse()
-
-	ran := false
-	fail := func(err error) {
+	if err := run(); err != nil {
 		fmt.Fprintf(os.Stderr, "qdcbench: %v\n", err)
 		os.Exit(1)
 	}
+}
 
-	if *all || *figure == 2 {
-		ran = true
-		if err := printFigure2(*n, *bandwidth, *aspect, *alpha); err != nil {
-			fail(err)
+type config struct {
+	// Matrix mode.
+	matrix   string
+	workers  int
+	timeout  time.Duration
+	jsonOut  string
+	jsonlOut string
+	baseline string
+	seed     int64
+	list     bool
+
+	// Table mode.
+	figure     int
+	example    string
+	experiment string
+	all        bool
+	n          int
+	bandwidth  int
+	alpha      float64
+	aspect     float64
+}
+
+func run() error {
+	var c config
+	flag.StringVar(&c.matrix, "matrix", "", "run a scenario matrix: "+fmt.Sprint(exp.MatrixNames()))
+	flag.IntVar(&c.workers, "workers", 0, "concurrent scenario executions (0 = GOMAXPROCS)")
+	flag.DurationVar(&c.timeout, "timeout", exp.DefaultTimeout, "per-scenario wall-clock budget")
+	flag.StringVar(&c.jsonOut, "json", "", "write results as a sorted JSON array to this file")
+	flag.StringVar(&c.jsonlOut, "jsonl", "", "stream results as JSON lines to this file")
+	flag.StringVar(&c.baseline, "baseline", "", "compare results against this earlier JSON/JSONL file")
+	flag.Int64Var(&c.seed, "seed", 0, "override the matrix base seed (0 keeps the registered seed)")
+	flag.BoolVar(&c.list, "list", false, "list the registered matrices and exit")
+	flag.IntVar(&c.figure, "figure", 0, "regenerate a figure: 2 or 3")
+	flag.StringVar(&c.example, "example", "", "regenerate an example: 1.1")
+	flag.StringVar(&c.experiment, "experiment", "", "run an experiment: sim, server, verify, pipeline")
+	flag.BoolVar(&c.all, "all", false, "regenerate every table")
+	flag.IntVar(&c.n, "n", 100_000, "network size for the formula tables")
+	flag.IntVar(&c.bandwidth, "B", 32, "per-edge bandwidth in bits per round")
+	flag.Float64Var(&c.alpha, "alpha", 2, "approximation factor")
+	flag.Float64Var(&c.aspect, "W", 1e5, "weight aspect ratio")
+	flag.Parse()
+
+	if c.list {
+		for _, name := range exp.MatrixNames() {
+			m, _ := exp.LookupMatrix(name)
+			fmt.Printf("%-10s %3d scenarios (%d topologies x %d algorithms x %d backends x %d bandwidths)\n",
+				name, len(m.Expand()), len(m.Topologies), len(m.Algorithms), len(m.Backends), len(m.Bandwidths))
+		}
+		return nil
+	}
+	if c.matrix != "" {
+		return runMatrix(c)
+	}
+	return runTables(c)
+}
+
+func runMatrix(c config) error {
+	m, ok := exp.LookupMatrix(c.matrix)
+	if !ok {
+		return fmt.Errorf("unknown matrix %q (have: %v)", c.matrix, exp.MatrixNames())
+	}
+	if c.seed != 0 {
+		m.BaseSeed = c.seed
+	}
+	scenarios := m.Expand()
+
+	collect := &exp.Collect{}
+	sinks := []exp.Sink{collect}
+	if c.jsonOut != "" {
+		s, err := exp.CreateJSON(c.jsonOut)
+		if err != nil {
+			return err
+		}
+		sinks = append(sinks, s)
+	}
+	if c.jsonlOut != "" {
+		s, err := exp.CreateJSONL(c.jsonlOut)
+		if err != nil {
+			return err
+		}
+		sinks = append(sinks, s)
+	}
+
+	sum, err := exp.Execute(scenarios, exp.ExecOptions{Workers: c.workers, Timeout: c.timeout}, sinks...)
+	for _, s := range sinks {
+		if cerr := s.Close(); cerr != nil && err == nil {
+			err = cerr
 		}
 	}
-	if *all || *figure == 3 {
-		ran = true
-		if err := printFigure3(*n, *bandwidth, *alpha); err != nil {
-			fail(err)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("matrix %s: %d scenarios, %d passed, %d failed (%d errors) in %.0f ms\n",
+		m.Name, sum.Scenarios, sum.Passed, sum.Failed, sum.Errors, sum.WallMillis)
+	for _, r := range collect.Records {
+		if r.Failed() {
+			fmt.Printf("  FAIL %-40s %s%s\n", r.Scenario.Name, r.Error, r.Detail)
 		}
 	}
-	if *all || *example == "1.1" {
+
+	if c.baseline != "" {
+		old, err := exp.ReadRecords(c.baseline)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		diff := exp.Compare(old, collect.Records)
+		for _, d := range diff.Regressions {
+			fmt.Printf("  REGRESSION %s\n", d)
+		}
+		for _, d := range diff.Improvements {
+			fmt.Printf("  improvement %s\n", d)
+		}
+		if len(diff.Added) > 0 {
+			fmt.Printf("  added: %v\n", diff.Added)
+		}
+		if len(diff.Removed) > 0 {
+			fmt.Printf("  removed: %v\n", diff.Removed)
+		}
+		if !diff.Clean() {
+			return fmt.Errorf("%d regressions against %s", len(diff.Regressions), c.baseline)
+		}
+	}
+	if sum.Failed > 0 {
+		return fmt.Errorf("%d of %d scenarios failed", sum.Failed, sum.Scenarios)
+	}
+	return nil
+}
+
+func runTables(c config) error {
+	ran := false
+	if c.all || c.figure == 2 {
+		ran = true
+		if err := printFigure2(c.n, c.bandwidth, c.aspect, c.alpha); err != nil {
+			return err
+		}
+	}
+	if c.all || c.figure == 3 {
+		ran = true
+		if err := printFigure3(c.n, c.bandwidth, c.alpha); err != nil {
+			return err
+		}
+	}
+	if c.all || c.example == "1.1" {
 		ran = true
 		if err := printExample11(); err != nil {
-			fail(err)
+			return err
 		}
 	}
-	if *all || *experiment == "server" {
+	if c.all || c.experiment == "server" {
 		ran = true
 		printServerTable(1200)
 	}
-	if *all || *experiment == "sim" {
+	if c.all || c.experiment == "sim" {
 		ran = true
 		if err := printSimulation(); err != nil {
-			fail(err)
+			return err
 		}
 	}
-	if *all || *experiment == "verify" {
+	if c.all || c.experiment == "verify" {
 		ran = true
 		if err := printVerification(); err != nil {
-			fail(err)
+			return err
 		}
 	}
-	if *all || *experiment == "pipeline" {
+	if c.all || c.experiment == "pipeline" {
 		ran = true
 		if err := printPipeline(); err != nil {
-			fail(err)
+			return err
 		}
 	}
 	if !ran {
 		flag.Usage()
-		os.Exit(2)
+		return fmt.Errorf("nothing to do: pass -matrix, -list, -figure, -example, -experiment or -all")
 	}
+	return nil
 }
 
 func printFigure2(n, bandwidth int, aspect, alpha float64) error {

@@ -229,6 +229,13 @@ type Options struct {
 	// engine (internal/simulation) to re-account each message to the party
 	// that owns its sender.
 	Trace func(round int, msg Message)
+	// Workers selects how many goroutines step nodes within each round.
+	// Values <= 1 step nodes sequentially. Any value produces bit-for-bit
+	// identical Results: nodes only interact through messages delivered at
+	// round boundaries, each node owns a private random stream, and message
+	// validation, accounting and delivery always happen sequentially in
+	// node-ID order after all nodes of the round have stepped.
+	Workers int
 }
 
 type directedEdge struct{ from, to int }
@@ -273,22 +280,22 @@ func (nw *Network) Run(factory NodeFactory, opts Options) (*Result, error) {
 
 	res := &Result{Outputs: make(map[int]any, n)}
 	inboxes := make([][]Message, n)
+	outboxes := make([][]Message, n)
 	done := make([]bool, n)
 
 	for round := 1; round <= maxRounds; round++ {
 		res.Rounds = round
+		stepNodes(nodes, ctxs, round, inboxes, outboxes, done, opts.Workers)
 		nextInboxes := make([][]Message, n)
 		edgeBits := make(map[directedEdge]int)
 		allDone := true
 		anyMessage := false
 
 		for v := 0; v < n; v++ {
-			outbox, nodeDone := nodes[v].Round(ctxs[v], round, inboxes[v])
-			done[v] = nodeDone
-			if !nodeDone {
+			if !done[v] {
 				allDone = false
 			}
-			for _, msg := range outbox {
+			for _, msg := range outboxes[v] {
 				msg.From = v
 				if !ctxs[v].IsNeighbor(msg.To) {
 					return res, fmt.Errorf("%w: node %d -> %d in round %d", ErrNotNeighbor, v, msg.To, round)

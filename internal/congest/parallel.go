@@ -1,0 +1,78 @@
+package congest
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// stepNodes invokes every node's Round for the given round, filling
+// outboxes[v] and done[v]. With workers <= 1 the nodes step sequentially in
+// ID order; otherwise up to workers goroutines claim nodes from a shared
+// counter and step them concurrently.
+//
+// The concurrent path is observationally identical to the sequential one:
+// a node's Round only reads its own state, its own Context and its own
+// inbox, so the cross-node data flow (validation, bandwidth accounting,
+// delivery, tracing) stays entirely inside the caller's sequential merge
+// loop. Panics are part of the contract too: either path re-raises the
+// panic of the lowest-ID panicking node, tagged with the node and round,
+// so a failing run reports identically whatever the worker count or
+// scheduling.
+func stepNodes(nodes []Node, ctxs []*Context, round int, inboxes, outboxes [][]Message, done []bool, workers int) {
+	n := len(nodes)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for v := 0; v < n; v++ {
+			if p := stepOne(nodes, ctxs, round, inboxes, outboxes, done, v); p != nil {
+				panic(panicText(v, round, p))
+			}
+		}
+		return
+	}
+
+	var (
+		next      atomic.Int64
+		wg        sync.WaitGroup
+		panickedV atomic.Bool
+		panics    = make([]any, n)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v := int(next.Add(1)) - 1
+				if v >= n {
+					return
+				}
+				if p := stepOne(nodes, ctxs, round, inboxes, outboxes, done, v); p != nil {
+					panics[v] = p
+					panickedV.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if panickedV.Load() {
+		for v := 0; v < n; v++ {
+			if panics[v] != nil {
+				panic(panicText(v, round, panics[v]))
+			}
+		}
+	}
+}
+
+func panicText(v, round int, p any) string {
+	return fmt.Sprintf("congest: node %d panicked in round %d: %v", v, round, p)
+}
+
+// stepOne runs one node's Round and returns its panic value, if any, so
+// the caller can surface it deterministically.
+func stepOne(nodes []Node, ctxs []*Context, round int, inboxes, outboxes [][]Message, done []bool, v int) (panicked any) {
+	defer func() { panicked = recover() }()
+	outboxes[v], done[v] = nodes[v].Round(ctxs[v], round, inboxes[v])
+	return nil
+}

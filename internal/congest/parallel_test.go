@@ -1,0 +1,135 @@
+package congest
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// mixerNode sums everything it hears with a private random increment each
+// round — a worst case for accidental cross-node state sharing.
+type mixerNode struct {
+	sum    int
+	rounds int
+}
+
+func (m *mixerNode) Init(ctx *Context) { m.sum = ctx.ID() }
+
+func (m *mixerNode) Round(ctx *Context, round int, inbox []Message) ([]Message, bool) {
+	for _, msg := range inbox {
+		if v, ok := msg.Payload.(int); ok {
+			m.sum += v
+		}
+	}
+	m.sum += ctx.Rand().Intn(8)
+	if round >= m.rounds {
+		ctx.SetOutput(m.sum)
+		return nil, true
+	}
+	return Broadcast(ctx.Neighbors(), m.sum%1024, 10), false
+}
+
+// ring builds a cycle topology without importing internal/graph (which
+// would create an import cycle in this package's tests).
+type ring int
+
+func (r ring) N() int { return int(r) }
+
+func (r ring) Neighbors(v int) []int {
+	n := int(r)
+	return []int{(v + n - 1) % n, (v + 1) % n}
+}
+
+func (r ring) Weight(u, v int) (float64, bool) {
+	n := int(r)
+	if (u+1)%n == v || (v+1)%n == u {
+		return 1, true
+	}
+	return 0, false
+}
+
+func TestWorkersProduceIdenticalResults(t *testing.T) {
+	run := func(workers int) *Result {
+		nw, err := NewNetwork(ring(37), 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw.SetSeed(9)
+		nw.SetInput(5, 1000)
+		res, err := nw.Run(func(*Context) Node { return &mixerNode{rounds: 20} }, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	sequential := run(0)
+	for _, workers := range []int{1, 2, 8, 64} {
+		if got := run(workers); !reflect.DeepEqual(sequential, got) {
+			t.Errorf("Workers=%d diverged from sequential:\nseq %+v\ngot %+v", workers, sequential, got)
+		}
+	}
+}
+
+// fuseNode panics at its trigger round on one node.
+type fuseNode struct{ trigger bool }
+
+func (f *fuseNode) Init(*Context) {}
+
+func (f *fuseNode) Round(ctx *Context, round int, inbox []Message) ([]Message, bool) {
+	if f.trigger && round == 2 {
+		panic("short circuit")
+	}
+	if round >= 3 {
+		return nil, true
+	}
+	return Broadcast(ctx.Neighbors(), 0, 1), false
+}
+
+func TestNodePanicsPropagateDeterministically(t *testing.T) {
+	// Nodes 4 and 11 both panic in round 2; every worker count must report
+	// the lowest-ID panicking node with identical text, so failing runs
+	// reproduce bit for bit across backends.
+	for _, workers := range []int{0, 1, 8} {
+		got := func() (p any) {
+			defer func() { p = recover() }()
+			nw, err := NewNetwork(ring(16), 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nw.Run(func(ctx *Context) Node {
+				return &fuseNode{trigger: ctx.ID() == 11 || ctx.ID() == 4}
+			}, Options{Workers: workers})
+			return nil
+		}()
+		if got == nil {
+			t.Fatalf("Workers=%d: expected the node panic to propagate", workers)
+		}
+		want := "congest: node 4 panicked in round 2: short circuit"
+		if msg, ok := got.(string); !ok || !strings.Contains(msg, want) {
+			t.Fatalf("Workers=%d: panic %v, want it to contain %q", workers, got, want)
+		}
+	}
+}
+
+func TestWorkersDeterministicAcrossRepeats(t *testing.T) {
+	// The per-node random streams must not depend on scheduling: hammer the
+	// parallel path repeatedly and require byte-identical outputs.
+	var first map[int]any
+	for i := 0; i < 10; i++ {
+		nw, err := NewNetwork(ring(24), 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw.SetSeed(rand.New(rand.NewSource(4)).Int63())
+		res, err := nw.Run(func(*Context) Node { return &mixerNode{rounds: 15} }, Options{Workers: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = res.Outputs
+		} else if !reflect.DeepEqual(first, res.Outputs) {
+			t.Fatalf("repeat %d produced different outputs", i)
+		}
+	}
+}

@@ -155,24 +155,42 @@ func (p *pathNode) Round(ctx *congest.Context, round int, inbox []congest.Messag
 // link bandwidth is B bits per round. It returns the network-wide verdict
 // and the measured Θ(D + b/B) cost.
 func RunClassical(nodes, bandwidth int, x, y []int, seed int64) (*Result, error) {
-	if nodes < 2 || bandwidth < 1 || len(x) < 1 || len(x) != len(y) {
-		return nil, fmt.Errorf("%w: nodes=%d B=%d |x|=%d |y|=%d", ErrBadInput, nodes, bandwidth, len(x), len(y))
+	if nodes < 2 || bandwidth < 1 {
+		return nil, fmt.Errorf("%w: nodes=%d B=%d", ErrBadInput, nodes, bandwidth)
+	}
+	r, err := engine.NewLocal(graph.Path(nodes), bandwidth, seed)
+	if err != nil {
+		return nil, err
+	}
+	return RunOn(r, x, y)
+}
+
+// RunOn executes the pipelined protocol on an existing runner whose
+// topology must be the path 0-1-...-(n-1): node 0 holds x and node n-1
+// holds y. Running through a shared runner lets the experiment harness
+// swap backends (local, parallel) while keeping the accounting a Stats
+// delta attributable to this protocol alone. A non-path topology surfaces
+// as a congest routing error.
+func RunOn(r engine.Runner, x, y []int) (*Result, error) {
+	if r == nil || len(x) < 1 || len(x) != len(y) {
+		return nil, fmt.Errorf("%w: |x|=%d |y|=%d", ErrBadInput, len(x), len(y))
 	}
 	for i := range x {
 		if x[i]&^1 != 0 || y[i]&^1 != 0 {
 			return nil, fmt.Errorf("%w: inputs must be 0/1 bit slices", ErrBadInput)
 		}
 	}
-	r, err := engine.NewLocal(graph.Path(nodes), bandwidth, seed)
-	if err != nil {
-		return nil, err
+	nodes := r.Size()
+	if nodes < 2 {
+		return nil, fmt.Errorf("%w: runner has %d nodes", ErrBadInput, nodes)
 	}
 	inputs := map[int]any{
 		0:         pathInput{X: x},
 		nodes - 1: pathInput{Y: y},
 	}
-	chunks := (len(x) + bandwidth - 1) / bandwidth
+	chunks := (len(x) + r.Bandwidth() - 1) / r.Bandwidth()
 	maxRounds := chunks + 2*nodes + 16
+	before := r.Stats()
 	res, err := r.RunStage(func(*congest.Context) congest.Node { return &pathNode{} }, inputs, maxRounds)
 	if err != nil {
 		return nil, err
@@ -181,6 +199,6 @@ func RunClassical(nodes, bandwidth int, x, y []int, seed int64) (*Result, error)
 	if !ok {
 		return nil, fmt.Errorf("disjointness: protocol produced no verdict")
 	}
-	stats := r.Stats()
+	stats := r.Stats().Sub(before)
 	return &Result{Disjoint: verdict, Rounds: stats.Rounds, Stats: stats}, nil
 }

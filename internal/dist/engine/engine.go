@@ -128,19 +128,26 @@ func NewLocal(topo congest.Topology, bandwidth int, seed int64) (*Local, error) 
 
 // RunStage implements Runner.
 func (l *Local) RunStage(factory congest.NodeFactory, inputs map[int]any, maxRounds int) (*congest.Result, error) {
-	l.net.ClearInputs()
+	return runNetworkStage(l.net, &l.stats, factory, inputs, congest.Options{MaxRounds: maxRounds})
+}
+
+// runNetworkStage installs the inputs, runs one stage on a congest.Network
+// and folds the result into the runner's accumulated stats. It is shared by
+// the Local and Parallel backends, which differ only in congest.Options.
+func runNetworkStage(net *congest.Network, stats *Stats, factory congest.NodeFactory, inputs map[int]any, opts congest.Options) (*congest.Result, error) {
+	net.ClearInputs()
 	for id, in := range inputs {
-		l.net.SetInput(id, in)
+		net.SetInput(id, in)
 	}
-	res, err := l.net.Run(factory, congest.Options{MaxRounds: maxRounds})
+	res, err := net.Run(factory, opts)
 	if res != nil {
-		l.stats.Stages++
-		l.stats.Rounds += res.Rounds
-		l.stats.Messages += res.TotalMessages
-		l.stats.Bits += res.TotalBits
+		stats.Stages++
+		stats.Rounds += res.Rounds
+		stats.Messages += res.TotalMessages
+		stats.Bits += res.TotalBits
 	}
 	if err != nil {
-		return res, fmt.Errorf("engine: stage %d: %w", l.stats.Stages, err)
+		return res, fmt.Errorf("engine: stage %d: %w", stats.Stages, err)
 	}
 	return res, nil
 }

@@ -1,0 +1,61 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+
+	"qdc/internal/congest"
+)
+
+// Parallel is the concurrent CONGEST(B) backend: the same plain accounting
+// as Local, but each round steps all nodes across a pool of worker
+// goroutines instead of one. Because CONGEST nodes interact only through
+// messages delivered at round boundaries and every node owns a private
+// random stream, a Parallel run is bit-for-bit identical to a Local run
+// with the same topology, bandwidth and seed — same Stats, same outputs,
+// same verdicts (TestNewParallelMatchesLocal pins this, and the whole
+// suite runs under -race in CI). The wall-clock win scales with the
+// per-round node work, which is why the experiment harness in internal/exp
+// exposes it as a backend of its scenario matrix.
+type Parallel struct {
+	net     *congest.Network
+	workers int
+	stats   Stats
+}
+
+// NewParallel returns a Runner executing stages on a fresh CONGEST network
+// with rounds stepped concurrently across GOMAXPROCS worker goroutines.
+// A bandwidth <= 0 selects congest.DefaultBandwidth.
+func NewParallel(topo congest.Topology, bandwidth int, seed int64) (*Parallel, error) {
+	if topo == nil {
+		return nil, ErrNilTopology
+	}
+	net, err := congest.NewNetwork(topo, bandwidth)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	net.SetSeed(seed)
+	return &Parallel{net: net, workers: runtime.GOMAXPROCS(0)}, nil
+}
+
+// SetWorkers overrides the number of stepping goroutines. Values <= 1 make
+// the runner behave exactly like Local; the experiment harness uses this to
+// avoid oversubscription when many runners execute side by side.
+func (p *Parallel) SetWorkers(workers int) { p.workers = workers }
+
+// RunStage implements Runner.
+func (p *Parallel) RunStage(factory congest.NodeFactory, inputs map[int]any, maxRounds int) (*congest.Result, error) {
+	return runNetworkStage(p.net, &p.stats, factory, inputs, congest.Options{MaxRounds: maxRounds, Workers: p.workers})
+}
+
+// Bandwidth implements Runner.
+func (p *Parallel) Bandwidth() int { return p.net.Bandwidth() }
+
+// Size implements Runner.
+func (p *Parallel) Size() int { return p.net.Size() }
+
+// Stats implements Runner.
+func (p *Parallel) Stats() Stats { return p.stats }
+
+// Compile-time interface check.
+var _ Runner = (*Parallel)(nil)

@@ -1,0 +1,169 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"qdc/internal/congest"
+	"qdc/internal/dist/engine"
+)
+
+// Matrix is a declarative sweep spec: the cross product of its axes, minus
+// the combinations that are structurally impossible (see Compatible),
+// expands into concrete scenarios with deterministic per-scenario seeds.
+type Matrix struct {
+	Name       string         `json:"name"`
+	Topologies []TopologySpec `json:"topologies"`
+	Bandwidths []int          `json:"bandwidths"`
+	Backends   []string       `json:"backends"`
+	Algorithms []string       `json:"algorithms"`
+	// BaseSeed is folded into every derived scenario seed; two expansions
+	// with the same base produce identical runs.
+	BaseSeed int64 `json:"base_seed"`
+}
+
+// Compatible reports whether the combination can execute at all, and the
+// constraint it violates when it cannot:
+//
+//   - AlgDisjointness runs a pipelined path protocol, so it needs
+//     FamilyPath and a non-simulation backend;
+//   - BackendSimulation re-accounts messages on the lower-bound network,
+//     so it needs FamilyLBNet;
+//   - AlgMST (exact) sends full weight words, so the bandwidth must carry
+//     the widest candidate message for the topology's size.
+//
+// Matrix.Expand silently skips incompatible cells, which is what lets the
+// axes stay orthogonal while e.g. disjointness appears in the same matrix
+// as MST.
+func Compatible(t TopologySpec, algorithm, backend string, bandwidth int) (bool, string) {
+	if algorithm == AlgDisjointness {
+		if t.Family != FamilyPath {
+			return false, "disjointness needs a path topology"
+		}
+		if backend == BackendSimulation {
+			return false, "disjointness cannot run under the simulation backend"
+		}
+	}
+	if backend == BackendSimulation && t.Family != FamilyLBNet {
+		return false, "the simulation backend needs the lower-bound network"
+	}
+	if algorithm == AlgMST {
+		// Widest exact-MST message: tag + has-flag + two IDs + weight word.
+		need := engine.TagBits + congest.BitsForBool + 2*congest.BitsForID(lbSizeUpperBound(t)) + congest.BitsForWeight
+		if bandwidth < need {
+			return false, fmt.Sprintf("exact MST needs %d bits per round, bandwidth is %d", need, bandwidth)
+		}
+	}
+	return true, ""
+}
+
+// lbSizeUpperBound returns a vertex-count upper bound for ID sizing: the
+// nominal size for plain families, and a generous Γ·(2L+log L) estimate for
+// the lower-bound network (its exact size depends on the highway rounding).
+func lbSizeUpperBound(t TopologySpec) int {
+	if t.Family != FamilyLBNet {
+		return t.Size
+	}
+	pathLen := int(t.Param)
+	if pathLen <= 0 {
+		pathLen = 17
+	}
+	return t.Size*pathLen + 16*(2*pathLen+16)
+}
+
+// Expand returns the concrete scenarios of the matrix in a deterministic
+// order with deterministic seeds.
+func (m Matrix) Expand() []Scenario {
+	var out []Scenario
+	for _, topo := range m.Topologies {
+		for _, algo := range m.Algorithms {
+			for _, backend := range m.Backends {
+				for _, bw := range m.Bandwidths {
+					if ok, _ := Compatible(topo, algo, backend, bw); !ok {
+						continue
+					}
+					key := scenarioKey(topo, algo, backend, bw)
+					out = append(out, Scenario{
+						Name:      key,
+						Topology:  topo,
+						Algorithm: algo,
+						Backend:   backend,
+						Bandwidth: bw,
+						Seed:      DeriveSeed(m.BaseSeed, key),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// matrices is the registry of named sweeps cmd/qdcbench exposes via -matrix.
+var matrices = map[string]Matrix{
+	// quick is the smoke-test sweep: small networks, two backends, every
+	// algorithm class. CI runs it on every push.
+	"quick": {
+		Name: "quick",
+		Topologies: []TopologySpec{
+			{Family: FamilyPath, Size: 9},
+			{Family: FamilyCycle, Size: 8},
+			{Family: FamilyRandom, Size: 12, Param: 0.3, MaxWeight: 16},
+		},
+		Bandwidths: []int{32},
+		Backends:   []string{BackendLocal, BackendParallel},
+		Algorithms: []string{AlgVerify, AlgMSTApprox, AlgDisjointness},
+		BaseSeed:   1,
+	},
+	// default is the standing BENCH sweep: every topology family, both
+	// bandwidth regimes, all three backends, all four algorithms —
+	// 79 scenarios.
+	"default": {
+		Name: "default",
+		Topologies: []TopologySpec{
+			{Family: FamilyPath, Size: 33},
+			{Family: FamilyCycle, Size: 32},
+			{Family: FamilyStar, Size: 24},
+			{Family: FamilyGrid, Size: 36},
+			{Family: FamilyRandom, Size: 40, Param: 0.15, MaxWeight: 64},
+			{Family: FamilyTree, Size: 48, MaxWeight: 1024},
+			{Family: FamilyLBNet, Size: 6, Param: 17},
+		},
+		Bandwidths: []int{32, 128},
+		Backends:   []string{BackendLocal, BackendParallel, BackendSimulation},
+		Algorithms: []string{AlgVerify, AlgMST, AlgMSTApprox, AlgDisjointness},
+		BaseSeed:   1,
+	},
+	// scale pushes the same families to the sizes where the parallel
+	// backend's per-round fan-out pays off.
+	"scale": {
+		Name: "scale",
+		Topologies: []TopologySpec{
+			{Family: FamilyPath, Size: 129},
+			{Family: FamilyCycle, Size: 128},
+			{Family: FamilyGrid, Size: 144},
+			{Family: FamilyRandom, Size: 128, Param: 0.06, MaxWeight: 256},
+			{Family: FamilyTree, Size: 160, MaxWeight: 4096},
+			{Family: FamilyLBNet, Size: 10, Param: 33},
+		},
+		Bandwidths: []int{64, 256},
+		Backends:   []string{BackendLocal, BackendParallel, BackendSimulation},
+		Algorithms: []string{AlgVerify, AlgMST, AlgMSTApprox, AlgDisjointness},
+		BaseSeed:   1,
+	},
+}
+
+// LookupMatrix returns the named matrix from the registry.
+func LookupMatrix(name string) (Matrix, bool) {
+	m, ok := matrices[name]
+	return m, ok
+}
+
+// MatrixNames returns the registered matrix names, sorted.
+func MatrixNames() []string {
+	names := make([]string, 0, len(matrices))
+	for name := range matrices {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

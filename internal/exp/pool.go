@@ -1,0 +1,143 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// DefaultTimeout bounds a single scenario run. The CONGEST simulator already
+// bounds rounds (64n+64 by default), so a timeout here signals a genuinely
+// pathological scenario rather than a slow one.
+const DefaultTimeout = 60 * time.Second
+
+// ExecOptions configures one Execute call.
+type ExecOptions struct {
+	// Workers is the number of scenarios executing concurrently; values
+	// <= 0 select GOMAXPROCS.
+	Workers int
+	// Timeout is the per-scenario wall-clock budget; values <= 0 select
+	// DefaultTimeout.
+	Timeout time.Duration
+	// run overrides the scenario runner in tests.
+	run func(Scenario) Record
+}
+
+// Summary aggregates one Execute call.
+type Summary struct {
+	Scenarios  int     `json:"scenarios"`
+	Passed     int     `json:"passed"`
+	Failed     int     `json:"failed"`
+	Errors     int     `json:"errors"`
+	WallMillis float64 `json:"wall_ms"`
+}
+
+// Execute runs every scenario on a pool of worker goroutines and streams
+// each Record to every sink as it completes (sinks are written from a single
+// collector goroutine, so they need not be thread-safe; JSONL output order
+// is completion order, not scenario order).
+//
+// Worker isolation: a panicking scenario is converted into a Record with an
+// Error, and a scenario exceeding the timeout is reported as such while its
+// goroutine is abandoned (the simulator's round limit bounds the leak).
+// Execute itself returns an error only for sink failures; per-scenario
+// failures are data, counted in the Summary.
+func Execute(scenarios []Scenario, opts ExecOptions, sinks ...Sink) (Summary, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	run := opts.run
+	if run == nil {
+		// Divide the machine between scenario-level and round-level
+		// parallelism: with W scenarios in flight, each parallel-backend
+		// runner gets GOMAXPROCS/W stepping goroutines so a full pool does
+		// not oversubscribe cores W-fold.
+		stepWorkers := runtime.GOMAXPROCS(0) / workers
+		if stepWorkers < 1 {
+			stepWorkers = 1
+		}
+		run = func(s Scenario) Record { return runScenario(s, stepWorkers) }
+	}
+
+	start := time.Now()
+	jobs := make(chan Scenario)
+	results := make(chan Record)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range jobs {
+				results <- runIsolated(s, timeout, run)
+			}
+		}()
+	}
+	go func() {
+		for _, s := range scenarios {
+			jobs <- s
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	var (
+		sum     Summary
+		sinkErr error
+	)
+	for rec := range results {
+		sum.Scenarios++
+		switch {
+		case rec.Error != "":
+			sum.Errors++
+			sum.Failed++
+		case !rec.OK:
+			sum.Failed++
+		default:
+			sum.Passed++
+		}
+		for _, sink := range sinks {
+			if err := sink.Write(rec); err != nil && sinkErr == nil {
+				sinkErr = fmt.Errorf("exp: sink write: %w", err)
+			}
+		}
+	}
+	sum.WallMillis = float64(time.Since(start)) / float64(time.Millisecond)
+	return sum, sinkErr
+}
+
+// runIsolated executes one scenario on its own goroutine so that the worker
+// survives both panics (in stub runners; RunScenario already recovers its
+// own) and runs that outlive the timeout.
+func runIsolated(s Scenario, timeout time.Duration, run func(Scenario) Record) Record {
+	ch := make(chan Record, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				ch <- Record{Scenario: s, Error: fmt.Sprintf("panic: %v", p)}
+			}
+		}()
+		ch <- run(s)
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case rec := <-ch:
+		return rec
+	case <-timer.C:
+		return Record{Scenario: s, Error: fmt.Sprintf("timeout after %s", timeout)}
+	}
+}

@@ -1,0 +1,188 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"qdc/internal/dist/disjointness"
+	"qdc/internal/dist/engine"
+	"qdc/internal/dist/mst"
+	"qdc/internal/dist/verify"
+	"qdc/internal/graph"
+	"qdc/internal/simulation"
+)
+
+// Record is one row of a results file: the scenario that ran, the measured
+// CONGEST cost, the wall-clock time, and whether the run's verdict checked
+// out against its reference computation. Failed runs carry Error instead.
+type Record struct {
+	Scenario Scenario     `json:"scenario"`
+	Stats    engine.Stats `json:"stats"`
+	// WallMillis is host wall-clock time, the one field that is *not*
+	// expected to reproduce across runs; Compare ignores it.
+	WallMillis float64 `json:"wall_ms"`
+	// OK reports whether the run's verdict matched the sequential reference
+	// computation (Kruskal for MST, direct intersection for disjointness,
+	// the expected answers for the verification pair).
+	OK bool `json:"ok"`
+	// Detail is a short human-readable account of the verdict.
+	Detail string `json:"detail,omitempty"`
+	// Error is the failure, panic or timeout message of an unsuccessful run.
+	Error string `json:"error,omitempty"`
+}
+
+// Failed reports whether the record represents an unusable or wrong run.
+func (r Record) Failed() bool { return r.Error != "" || !r.OK }
+
+// RunScenario executes one scenario synchronously and never panics: node
+// program panics surface as the record's Error. Cost accounting, inputs and
+// random choices all derive from the scenario seed, so equal scenarios
+// produce equal records (modulo WallMillis).
+func RunScenario(s Scenario) Record { return runScenario(s, 0) }
+
+// runScenario is RunScenario with an explicit stepping-goroutine budget for
+// the parallel backend; stepWorkers <= 0 keeps the backend's GOMAXPROCS
+// default. The executor divides cores between scenario-level and
+// round-level parallelism through it; the budget never changes a record's
+// content, only how many goroutines compute it.
+func runScenario(s Scenario, stepWorkers int) (rec Record) {
+	rec.Scenario = s
+	start := time.Now()
+	defer func() {
+		rec.WallMillis = float64(time.Since(start)) / float64(time.Millisecond)
+		if p := recover(); p != nil {
+			rec.OK = false
+			rec.Error = fmt.Sprintf("panic: %v", p)
+		}
+	}()
+
+	rng := rand.New(rand.NewSource(s.Seed))
+	topo, err := s.Topology.Build(rng)
+	if err != nil {
+		rec.Error = err.Error()
+		return rec
+	}
+	runner, err := buildRunner(s, topo, stepWorkers)
+	if err != nil {
+		rec.Error = err.Error()
+		return rec
+	}
+
+	switch s.Algorithm {
+	case AlgVerify:
+		rec.OK, rec.Detail, err = runVerify(runner, topo.Graph)
+	case AlgMST:
+		rec.OK, rec.Detail, err = runMST(runner, topo.Graph, 0)
+	case AlgMSTApprox:
+		rec.OK, rec.Detail, err = runMST(runner, topo.Graph, 2)
+	case AlgDisjointness:
+		rec.OK, rec.Detail, err = runDisjointness(runner, rng)
+	default:
+		err = fmt.Errorf("exp: unknown algorithm %q", s.Algorithm)
+	}
+	rec.Stats = runner.Stats()
+	if err != nil {
+		rec.OK = false
+		rec.Error = err.Error()
+		return rec
+	}
+	if sim, ok := runner.(*simulation.Runner); ok {
+		rep := sim.Report()
+		rec.Detail += fmt.Sprintf("; server_cost=%d within_budget=%v", rep.ServerModelCost, rep.WithinRoundBudget)
+	}
+	return rec
+}
+
+// buildRunner constructs the scenario's backend over the built topology.
+func buildRunner(s Scenario, topo *builtTopology, stepWorkers int) (engine.Runner, error) {
+	switch s.Backend {
+	case BackendLocal:
+		return engine.NewLocal(topo.Graph, s.Bandwidth, s.Seed)
+	case BackendParallel:
+		r, err := engine.NewParallel(topo.Graph, s.Bandwidth, s.Seed)
+		if err == nil && stepWorkers > 0 {
+			r.SetWorkers(stepWorkers)
+		}
+		return r, err
+	case BackendSimulation:
+		if topo.LB == nil {
+			return nil, fmt.Errorf("exp: simulation backend needs the %s family, got %s", FamilyLBNet, s.Topology.Family)
+		}
+		return simulation.NewRunner(topo.LB, s.Bandwidth, s.Seed)
+	default:
+		return nil, fmt.Errorf("exp: unknown backend %q", s.Backend)
+	}
+}
+
+// runVerify exercises the distributed spanning-tree verifier on one
+// positive instance (a reference MST of the network) and one negative
+// instance (the same tree with its first edge removed); the run is OK when
+// both network-wide verdicts are correct.
+func runVerify(r engine.Runner, g *graph.Graph) (bool, string, error) {
+	tree, _ := g.KruskalMST()
+	if len(tree) == 0 {
+		return false, "", fmt.Errorf("exp: verify needs a topology with at least one edge")
+	}
+	m := graph.NewEdgeSetFrom(tree)
+	pos, err := verify.SpanningTree(r, g, m)
+	if err != nil {
+		return false, "", err
+	}
+	broken := m.Clone()
+	broken.Remove(tree[0].U, tree[0].V)
+	neg, err := verify.SpanningTree(r, g, broken)
+	if err != nil {
+		return false, "", err
+	}
+	ok := pos.Answer && !neg.Answer
+	detail := fmt.Sprintf("spanning-tree verdicts: intact=%v broken=%v", pos.Answer, neg.Answer)
+	return ok, detail, nil
+}
+
+// runMST builds a distributed MST (exact for alpha 0, rounded-weight
+// otherwise) and validates it against Kruskal: a spanning forest of the
+// right size whose weight is within the approximation guarantee.
+func runMST(r engine.Runner, g *graph.Graph, alpha float64) (bool, string, error) {
+	ref, refWeight := g.KruskalMST()
+	res, err := mst.Run(r, g, mst.Config{Alpha: alpha})
+	if err != nil {
+		return false, "", err
+	}
+	bound := refWeight
+	if alpha > 1 {
+		bound = alpha * refWeight
+	}
+	ok := len(res.Tree) == len(ref) && res.OriginalWeight <= bound*(1+1e-9)
+	detail := fmt.Sprintf("tree weight %.1f vs optimum %.1f (bound %.1f)", res.OriginalWeight, refWeight, bound)
+	return ok, detail, nil
+}
+
+// runDisjointness draws two b-bit sets with b = 8B (so pipelining dominates
+// the diameter term), runs the pipelined path protocol, and checks the
+// network's verdict against the direct intersection.
+func runDisjointness(r engine.Runner, rng *rand.Rand) (bool, string, error) {
+	b := 8 * r.Bandwidth()
+	x := make([]int, b)
+	y := make([]int, b)
+	intersect := false
+	for i := range x {
+		if rng.Float64() < 0.05 {
+			x[i] = 1
+		}
+		if rng.Float64() < 0.05 {
+			y[i] = 1
+		}
+		if x[i] == 1 && y[i] == 1 {
+			intersect = true
+		}
+	}
+	res, err := disjointness.RunOn(r, x, y)
+	if err != nil {
+		return false, "", err
+	}
+	ok := res.Disjoint == !intersect
+	detail := fmt.Sprintf("b=%d verdict=%v want=%v rounds=%d (Θ(D+b/B)=%d)",
+		b, res.Disjoint, !intersect, res.Rounds, disjointness.ClassicalRounds(b, r.Bandwidth(), r.Size()-1))
+	return ok, detail, nil
+}

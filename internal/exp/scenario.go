@@ -1,0 +1,207 @@
+// Package exp is the experiment harness of the repository: it turns the
+// paper's cost-separation claims into sweeps that are cheap to run and
+// cheap to diff.
+//
+// The subsystem has three parts:
+//
+//   - a scenario registry: named Scenario values (topology family ×
+//     algorithm × backend × bandwidth × deterministic seed) and Matrix
+//     specs that expand into hundreds of concrete runs (see matrix.go);
+//   - a worker-pool executor that runs scenarios concurrently across
+//     shards with per-run timeouts and panic isolation (see pool.go);
+//   - a results pipeline: Record rows streamed to JSONL/JSON sinks and a
+//     Compare regression diff between two result sets (see sink.go).
+//
+// cmd/qdcbench drives the harness from the command line
+// (-matrix/-workers/-json), which is how BENCH_*.json snapshots are
+// produced and compared across commits.
+package exp
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"strings"
+
+	"qdc/internal/graph"
+	"qdc/internal/lbnetwork"
+)
+
+// Topology families understood by TopologySpec.Build.
+const (
+	FamilyPath     = "path"
+	FamilyCycle    = "cycle"
+	FamilyStar     = "star"
+	FamilyGrid     = "grid"
+	FamilyComplete = "complete"
+	FamilyRandom   = "random"
+	FamilyTree     = "tree"
+	// FamilyLBNet is the paper's Section 8 lower-bound network; Size is the
+	// number of paths Γ and Param the path length L (rounded up to the next
+	// 2^k+1). It is the only family the simulation backend accepts.
+	FamilyLBNet = "lbnet"
+)
+
+// Backends a Scenario can execute on.
+const (
+	// BackendLocal is engine.NewLocal: plain sequential CONGEST(B).
+	BackendLocal = "local"
+	// BackendParallel is engine.NewParallel: identical accounting, rounds
+	// stepped concurrently across GOMAXPROCS goroutines.
+	BackendParallel = "parallel"
+	// BackendSimulation is simulation.NewRunner: the Theorem 3.5 three-party
+	// re-accounting on the lower-bound network (FamilyLBNet only).
+	BackendSimulation = "simulation"
+)
+
+// Algorithms a Scenario can run.
+const (
+	// AlgVerify runs the verify.SpanningTree CONGEST verifier on a positive
+	// instance (a reference MST) and a negative one (the same tree with one
+	// edge removed) and checks both verdicts.
+	AlgVerify = "verify"
+	// AlgMST runs the exact distributed Borůvka MST; it needs enough
+	// bandwidth for a full weight word per candidate message.
+	AlgMST = "mst"
+	// AlgMSTApprox runs the 2-approximate rounded-weight MST, whose class
+	// keys fit narrow bandwidths.
+	AlgMSTApprox = "mst2"
+	// AlgDisjointness runs the pipelined Example 1.1 Set Disjointness
+	// protocol (FamilyPath only).
+	AlgDisjointness = "disjointness"
+)
+
+// TopologySpec names one concrete network topology of a scenario.
+type TopologySpec struct {
+	// Family is one of the Family* constants.
+	Family string `json:"family"`
+	// Size is the nominal vertex count (for FamilyGrid it is rounded down
+	// to a square; for FamilyLBNet it is the path count Γ).
+	Size int `json:"size"`
+	// Param is the family-specific knob: edge probability for FamilyRandom,
+	// path length L for FamilyLBNet. Zero selects a family default.
+	Param float64 `json:"param,omitempty"`
+	// MaxWeight, when > 1, redraws edge weights uniformly from
+	// [1, MaxWeight] with the scenario's rng (aspect-ratio workloads for
+	// MST). Ignored by FamilyLBNet.
+	MaxWeight float64 `json:"max_weight,omitempty"`
+}
+
+// String returns the label used in scenario names, e.g. "path33" or
+// "random40(p=0.15,w=64)". Param and MaxWeight are part of the label
+// because they are part of the identity: two topologies differing only in
+// them must not collide on scenario name or derived seed.
+func (t TopologySpec) String() string {
+	label := fmt.Sprintf("%s%d", t.Family, t.Size)
+	var knobs []string
+	if t.Param != 0 {
+		knobs = append(knobs, fmt.Sprintf("p=%g", t.Param))
+	}
+	if t.MaxWeight > 1 {
+		knobs = append(knobs, fmt.Sprintf("w=%g", t.MaxWeight))
+	}
+	if len(knobs) > 0 {
+		label += "(" + strings.Join(knobs, ",") + ")"
+	}
+	return label
+}
+
+// Scenario is one fully specified experiment run. Scenarios are plain data:
+// expanding a Matrix yields them, RunScenario executes them, and Records
+// embed them so a results file is self-describing.
+type Scenario struct {
+	// Name uniquely identifies the scenario inside its matrix; Compare
+	// matches old and new records by it.
+	Name      string       `json:"name"`
+	Topology  TopologySpec `json:"topology"`
+	Algorithm string       `json:"algorithm"`
+	Backend   string       `json:"backend"`
+	// Bandwidth is the per-edge, per-round bit budget B.
+	Bandwidth int `json:"bandwidth"`
+	// Seed drives every random choice of the run (topology weights, inputs,
+	// per-node streams). Matrix.Expand derives it deterministically from the
+	// scenario name, so re-running a matrix reproduces each run exactly.
+	Seed int64 `json:"seed"`
+}
+
+// key is the canonical identity of a scenario within a matrix.
+func scenarioKey(t TopologySpec, algorithm, backend string, bandwidth int) string {
+	return fmt.Sprintf("%s/%s/%s/B%d", t, algorithm, backend, bandwidth)
+}
+
+// DeriveSeed returns the deterministic per-scenario seed for a scenario key:
+// a 64-bit FNV-1a hash of the key folded with the matrix base seed. Distinct
+// scenarios get independent streams while identical (matrix, base) pairs
+// reproduce identical runs.
+func DeriveSeed(base int64, key string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return base ^ int64(h.Sum64())
+}
+
+// builtTopology is the realised network of a scenario: always a graph, plus
+// the lower-bound network when the family is FamilyLBNet (the simulation
+// backend needs its ownership structure, not just its edges).
+type builtTopology struct {
+	Graph *graph.Graph
+	LB    *lbnetwork.Network
+}
+
+// Build realises the topology. Random families draw from rng, so callers
+// must seed it from Scenario.Seed for reproducibility.
+func (t TopologySpec) Build(rng *rand.Rand) (*builtTopology, error) {
+	if t.Size < 2 && t.Family != FamilyLBNet {
+		return nil, fmt.Errorf("exp: %s needs size >= 2, got %d", t.Family, t.Size)
+	}
+	var (
+		g   *graph.Graph
+		err error
+	)
+	switch t.Family {
+	case FamilyPath:
+		g = graph.Path(t.Size)
+	case FamilyCycle:
+		g, err = graph.Cycle(t.Size)
+	case FamilyStar:
+		g = graph.Star(t.Size)
+	case FamilyComplete:
+		g = graph.Complete(t.Size)
+	case FamilyGrid:
+		side := int(math.Sqrt(float64(t.Size)))
+		if side < 2 {
+			return nil, fmt.Errorf("exp: grid needs size >= 4, got %d", t.Size)
+		}
+		g = graph.Grid(side, side)
+	case FamilyRandom:
+		p := t.Param
+		if p <= 0 {
+			p = 0.1
+		}
+		g = graph.RandomConnectedGraph(t.Size, p, rng)
+	case FamilyTree:
+		g = graph.RandomSpanningTree(t.Size, rng)
+	case FamilyLBNet:
+		pathLen := int(t.Param)
+		if pathLen <= 0 {
+			pathLen = 17
+		}
+		lb, lbErr := lbnetwork.New(t.Size, pathLen)
+		if lbErr != nil {
+			return nil, fmt.Errorf("exp: %v", lbErr)
+		}
+		return &builtTopology{Graph: lb.Graph, LB: lb}, nil
+	default:
+		return nil, fmt.Errorf("exp: unknown topology family %q", t.Family)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("exp: %v", err)
+	}
+	if t.MaxWeight > 1 {
+		g, err = graph.AssignRandomWeights(g, t.MaxWeight, rng)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %v", err)
+		}
+	}
+	return &builtTopology{Graph: g}, nil
+}

@@ -8,11 +8,17 @@
 //	qdcbench -matrix default -workers 8 -json BENCH_default.json
 //	qdcbench -matrix quick -jsonl run.jsonl
 //	qdcbench -matrix default -json new.json -baseline BENCH_default.json
+//	qdcbench -matrix crossover -backends local,quantum
 //	qdcbench -list
 //
 // With -baseline the run is diffed against an earlier results file and any
 // regression (a newly failing scenario, or more rounds/bits on the same
-// deterministic scenario) makes the command exit non-zero.
+// deterministic scenario) makes the command exit non-zero. -backends
+// restricts an expanded matrix to a comma-separated backend subset. After
+// every matrix run the summary breaks the scenarios down per backend, and
+// when the run contains classical/quantum disjointness pairs it prints the
+// measured crossover table of Example 1.1 next to the predicted crossover
+// diameter.
 //
 // Table mode regenerates the paper's tables and figures as text: the
 // Figure 2 bounds table, the Figure 3 MST curves, the server-model hardness
@@ -33,6 +39,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"qdc"
@@ -49,6 +57,7 @@ func main() {
 type config struct {
 	// Matrix mode.
 	matrix   string
+	backends string
 	workers  int
 	timeout  time.Duration
 	jsonOut  string
@@ -71,6 +80,7 @@ type config struct {
 func run() error {
 	var c config
 	flag.StringVar(&c.matrix, "matrix", "", "run a scenario matrix: "+fmt.Sprint(exp.MatrixNames()))
+	flag.StringVar(&c.backends, "backends", "", "restrict the matrix to these comma-separated backends (e.g. local,quantum)")
 	flag.IntVar(&c.workers, "workers", 0, "concurrent scenario executions (0 = GOMAXPROCS)")
 	flag.DurationVar(&c.timeout, "timeout", exp.DefaultTimeout, "per-scenario wall-clock budget")
 	flag.StringVar(&c.jsonOut, "json", "", "write results as a sorted JSON array to this file")
@@ -111,6 +121,22 @@ func runMatrix(c config) error {
 		m.BaseSeed = c.seed
 	}
 	scenarios := m.Expand()
+	if c.backends != "" {
+		keep := make(map[string]bool)
+		for _, b := range strings.Split(c.backends, ",") {
+			keep[strings.TrimSpace(b)] = true
+		}
+		filtered := scenarios[:0]
+		for _, s := range scenarios {
+			if keep[s.Backend] {
+				filtered = append(filtered, s)
+			}
+		}
+		scenarios = filtered
+		if len(scenarios) == 0 {
+			return fmt.Errorf("matrix %s has no scenarios on backends %q", m.Name, c.backends)
+		}
+	}
 
 	collect := &exp.Collect{}
 	sinks := []exp.Sink{collect}
@@ -141,11 +167,13 @@ func runMatrix(c config) error {
 
 	fmt.Printf("matrix %s: %d scenarios, %d passed, %d failed (%d errors) in %.0f ms\n",
 		m.Name, sum.Scenarios, sum.Passed, sum.Failed, sum.Errors, sum.WallMillis)
+	printBackendBreakdown(collect.Records)
 	for _, r := range collect.Records {
 		if r.Failed() {
 			fmt.Printf("  FAIL %-40s %s%s\n", r.Scenario.Name, r.Error, r.Detail)
 		}
 	}
+	printCrossover(collect.Records)
 
 	if c.baseline != "" {
 		old, err := exp.ReadRecords(c.baseline)
@@ -173,6 +201,68 @@ func runMatrix(c config) error {
 		return fmt.Errorf("%d of %d scenarios failed", sum.Failed, sum.Scenarios)
 	}
 	return nil
+}
+
+// printBackendBreakdown rolls the records up into one row per backend so a
+// mixed sweep shows at a glance how each cost model fared.
+func printBackendBreakdown(records []exp.Record) {
+	type row struct {
+		scenarios, passed int
+		rounds            int
+		bits, qubits      int64
+	}
+	rows := make(map[string]*row)
+	var backends []string
+	for _, r := range records {
+		b := rows[r.Scenario.Backend]
+		if b == nil {
+			b = &row{}
+			rows[r.Scenario.Backend] = b
+			backends = append(backends, r.Scenario.Backend)
+		}
+		b.scenarios++
+		if !r.Failed() {
+			b.passed++
+		}
+		b.rounds += r.Stats.Rounds
+		b.bits += r.Stats.Bits
+		b.qubits += r.Stats.QuantumBits
+	}
+	sort.Strings(backends)
+	fmt.Printf("  %-12s %9s %7s %12s %14s %14s\n", "backend", "scenarios", "passed", "rounds", "bits", "qubits")
+	for _, name := range backends {
+		b := rows[name]
+		fmt.Printf("  %-12s %9d %7d %12d %14d %14d\n", name, b.scenarios, b.passed, b.rounds, b.bits, b.qubits)
+	}
+}
+
+// printCrossover prints the measured Example 1.1 crossover table when the
+// run paired classical and quantum disjointness scenarios.
+func printCrossover(records []exp.Record) {
+	points := exp.CrossoverReport(records)
+	if len(points) == 0 {
+		return
+	}
+	fmt.Println("  classical vs quantum disjointness (Example 1.1):")
+	fmt.Printf("  %10s %6s %6s %12s %12s %10s %11s %7s\n",
+		"B", "b", "D", "classical", "quantum", "winner", "predicted D*", "agree")
+	for _, p := range points {
+		note := ""
+		if !p.Decisive {
+			note = " (near crossover)"
+		}
+		fmt.Printf("  %10d %6d %6d %12d %12d %10s %11d %7v%s\n",
+			p.Bandwidth, p.InputBits, p.Distance, p.ClassicalRounds, p.QuantumRounds,
+			p.MeasuredWinner, p.PredictedCrossover, p.Agree, note)
+	}
+	for _, s := range exp.MeasuredCrossovers(points) {
+		measured := "none (quantum won every swept D)"
+		if s.MeasuredCrossover > 0 {
+			measured = fmt.Sprintf("D=%d", s.MeasuredCrossover)
+		}
+		fmt.Printf("  B=%-4d b=%-5d measured crossover %s, predicted D*=%d over %d diameters\n",
+			s.Bandwidth, s.InputBits, measured, s.PredictedCrossover, s.Points)
+	}
 }
 
 func runTables(c config) error {
@@ -264,7 +354,7 @@ func printFigure3(n, bandwidth int, alpha float64) error {
 
 func printExample11() error {
 	fmt.Println("Example 1.1 — distributed Set Disjointness, classical vs quantum (b=4096, B=1)")
-	fmt.Printf("%10s %18s %18s %10s\n", "D", "classical rounds", "quantum rounds", "winner")
+	fmt.Printf("%10s %18s %18s %10s %14s\n", "D", "classical rounds", "quantum rounds", "winner", "crossover D*")
 	for _, d := range []int{2, 8, 32, 128, 512, 2048} {
 		cmp, err := qdc.RunDisjointnessComparison(4096, 1, d, 1)
 		if err != nil {
@@ -274,7 +364,7 @@ func printExample11() error {
 		if cmp.QuantumWins {
 			w = "quantum"
 		}
-		fmt.Printf("%10d %18d %18d %10s\n", d, cmp.ClassicalRounds, cmp.QuantumRounds, w)
+		fmt.Printf("%10d %18d %18d %10s %14.0f\n", d, cmp.ClassicalRounds, cmp.QuantumRounds, w, cmp.CrossoverDiameter)
 	}
 	fmt.Println()
 	return nil

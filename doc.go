@@ -31,9 +31,17 @@
 // Every distributed algorithm is a CONGEST node program executed through the
 // engine.Runner interface (internal/dist/engine): RunStage installs per-node
 // inputs, runs the program to global termination, and accumulates a Stats
-// total of stages, rounds, messages and bits. Two backends implement it:
+// total of stages, rounds, messages and bits (classical and quantum,
+// accounted separately). The backends:
 //
-//   - engine.NewLocal(topo, B, seed) — plain CONGEST(B) on any topology;
+//   - engine.NewLocal(topo, B, seed) — plain CONGEST(B) on any topology
+//     (engine.NewParallel is the same accounting with rounds stepped
+//     concurrently);
+//   - engine.NewQuantum(topo, B, seed) — the third cost model: the same
+//     classical execution re-accounted under the distributed-Grover round
+//     formula of Example 1.1 (⌈√b⌉·D rounds of routed query registers), the
+//     backend the experiment harness pairs against NewLocal to measure the
+//     classical-vs-quantum Set Disjointness crossover directly;
 //   - simulation.NewRunner(nw, B, seed) — the same execution on the
 //     lower-bound network, additionally charged to the Carol/David/server
 //     parties of the Quantum Simulation Theorem (Theorem 3.5).
@@ -41,7 +49,7 @@
 // Because the algorithm code is backend-agnostic, the seven verification
 // algorithms of internal/dist/verify, the exact and α-approximate MST of
 // internal/dist/mst, and the Set Disjointness protocol of
-// internal/dist/disjointness all run unchanged under either cost model; the
+// internal/dist/disjointness all run unchanged under any cost model; the
 // degree-two check is the designated O(D)-round program that fits the
 // theorem's L/2 − 2 round budget. See DESIGN.md for the system inventory and
 // the engine/backends substitution table.

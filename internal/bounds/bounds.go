@@ -65,6 +65,43 @@ func MSTUpperBound(n, diameter, aspectRatio, alpha float64) float64 {
 	return math.Min(aspectRatio/alpha, math.Sqrt(n)) + diameter
 }
 
+// DisjointnessClassicalRounds is the Θ(D + b/B) round cost of the classical
+// pipelined Set Disjointness protocol of Example 1.1: the diameter term plus
+// ⌈b/B⌉ rounds of streaming. It is the closed-form twin of
+// disjointness.ClassicalRounds; non-positive parameters cost 0.
+func DisjointnessClassicalRounds(b, bandwidth, distance float64) float64 {
+	if b < 1 || bandwidth < 1 || distance < 1 {
+		return 0
+	}
+	return distance + math.Ceil(b/bandwidth)
+}
+
+// DisjointnessQuantumRounds is the O(√b·D) round cost of the distributed
+// Grover protocol: ⌈√b⌉ iterations each routed across the distance D. It is
+// the closed-form twin of disjointness.QuantumRounds / quantum.GroverRounds.
+func DisjointnessQuantumRounds(b, distance float64) float64 {
+	if b < 1 || distance < 1 {
+		return 0
+	}
+	return math.Ceil(math.Sqrt(b)) * distance
+}
+
+// DisjointnessCrossoverDiameter is the smallest distance D at which the
+// classical pipeline is at least as fast as the Grover protocol,
+// ⌈⌈b/B⌉ / (⌈√b⌉ − 1)⌉; +Inf when ⌈√b⌉ <= 1 (the quantum protocol never
+// loses), 0 for non-positive parameters. The closed-form twin of
+// disjointness.CrossoverDiameter.
+func DisjointnessCrossoverDiameter(b, bandwidth float64) float64 {
+	if b < 1 || bandwidth < 1 {
+		return 0
+	}
+	q := math.Ceil(math.Sqrt(b))
+	if q <= 1 {
+		return math.Inf(1)
+	}
+	return math.Ceil(math.Ceil(b/bandwidth) / (q - 1))
+}
+
 // Figure3Crossovers returns the two crossover aspect ratios marked in
 // Figure 3: W = Θ(α√n), where the lower bound curve flattens, and
 // W = Θ(αn), beyond which even the trivial collect-everything algorithm is

@@ -41,6 +41,14 @@ type Message struct {
 	Payload any
 	// Bits is the size charged against the per-edge, per-round budget.
 	Bits int
+	// Quantum marks the message as carrying qubits rather than classical
+	// bits. The paper's quantum CONGEST model (Section 2.1) charges qubits
+	// against the same per-edge bandwidth B, so the budget check is
+	// identical; the split only matters for accounting — Result reports
+	// quantum and classical wire traffic separately, which is what the
+	// Grover re-accounting backend (engine.NewQuantum) and any future
+	// genuinely quantum node program feed on.
+	Quantum bool
 }
 
 // Node is the per-processor state machine supplied by an algorithm.
@@ -143,6 +151,9 @@ var (
 	// ErrRoundLimit reports that the round limit was reached before all
 	// nodes terminated.
 	ErrRoundLimit = errors.New("congest: round limit reached before termination")
+	// ErrCancelled reports that Options.Cancel requested a stop before all
+	// nodes terminated.
+	ErrCancelled = errors.New("congest: run cancelled")
 )
 
 // Topology is the read-only view of the underlying graph that the simulator
@@ -201,6 +212,13 @@ func (nw *Network) Bandwidth() int { return nw.bandwidth }
 // Size returns the number of nodes.
 func (nw *Network) Size() int { return nw.topo.N() }
 
+// RoundTraffic splits one round's wire traffic into classical bits and
+// qubits (messages sent with Message.Quantum set).
+type RoundTraffic struct {
+	ClassicalBits int64
+	QuantumBits   int64
+}
+
 // Result summarises one run of an algorithm.
 type Result struct {
 	// Rounds is the number of synchronous rounds executed.
@@ -209,8 +227,16 @@ type Result struct {
 	Terminated bool
 	// TotalMessages is the number of messages delivered.
 	TotalMessages int
-	// TotalBits is the number of bits sent over all edges in all rounds.
+	// TotalBits is the number of bits sent over all edges in all rounds,
+	// classical and quantum together.
 	TotalBits int64
+	// QuantumBits is the subset of TotalBits carried by quantum-marked
+	// messages (qubits on the wire).
+	QuantumBits int64
+	// PerRound is the round-by-round quantum-vs-classical split of the wire
+	// traffic; PerRound[r-1] describes round r. It is recorded only when
+	// Options.PerRound is set (aggregate QuantumBits always is).
+	PerRound []RoundTraffic
 	// MaxEdgeBitsPerRound is the maximum number of bits observed on any
 	// single directed edge in any single round (always <= bandwidth).
 	MaxEdgeBitsPerRound int
@@ -236,6 +262,16 @@ type Options struct {
 	// validation, accounting and delivery always happen sequentially in
 	// node-ID order after all nodes of the round have stepped.
 	Workers int
+	// Cancel, if non-nil, is polled once per round before the round's nodes
+	// step; when it returns true, Run stops and returns the partial result
+	// with ErrCancelled. It is how the experiment harness makes a
+	// per-scenario timeout actually terminate the simulating goroutine
+	// instead of abandoning it mid-sweep.
+	Cancel func() bool
+	// PerRound opts into recording Result.PerRound, the round-by-round
+	// classical/quantum traffic split; long sweeps leave it off and pay
+	// nothing for the breakdown.
+	PerRound bool
 }
 
 type directedEdge struct{ from, to int }
@@ -284,10 +320,19 @@ func (nw *Network) Run(factory NodeFactory, opts Options) (*Result, error) {
 	done := make([]bool, n)
 
 	for round := 1; round <= maxRounds; round++ {
+		if opts.Cancel != nil && opts.Cancel() {
+			for v := 0; v < n; v++ {
+				if out, ok := ctxs[v].Output(); ok {
+					res.Outputs[v] = out
+				}
+			}
+			return res, fmt.Errorf("%w: before round %d", ErrCancelled, round)
+		}
 		res.Rounds = round
 		stepNodes(nodes, ctxs, round, inboxes, outboxes, done, opts.Workers)
 		nextInboxes := make([][]Message, n)
 		edgeBits := make(map[directedEdge]int)
+		traffic := RoundTraffic{}
 		allDone := true
 		anyMessage := false
 
@@ -312,6 +357,12 @@ func (nw *Network) Run(factory NodeFactory, opts Options) (*Result, error) {
 				nextInboxes[msg.To] = append(nextInboxes[msg.To], msg)
 				res.TotalMessages++
 				res.TotalBits += int64(msg.Bits)
+				if msg.Quantum {
+					res.QuantumBits += int64(msg.Bits)
+					traffic.QuantumBits += int64(msg.Bits)
+				} else {
+					traffic.ClassicalBits += int64(msg.Bits)
+				}
 				anyMessage = true
 				if opts.Trace != nil {
 					opts.Trace(round, msg)
@@ -322,6 +373,9 @@ func (nw *Network) Run(factory NodeFactory, opts Options) (*Result, error) {
 			}
 		}
 
+		if opts.PerRound {
+			res.PerRound = append(res.PerRound, traffic)
+		}
 		inboxes = nextInboxes
 		if allDone && !anyMessage {
 			res.Terminated = true

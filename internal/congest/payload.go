@@ -41,6 +41,14 @@ func NewMessage(to int, payload any, bits int) Message {
 	return Message{To: to, Payload: payload, Bits: bits}
 }
 
+// NewQubitMessage builds a quantum-marked message carrying the given number
+// of qubits. Qubits are charged against the same per-edge bandwidth B as
+// classical bits (the paper's quantum CONGEST model), but are accounted
+// separately in Result.QuantumBits.
+func NewQubitMessage(to int, payload any, qubits int) Message {
+	return Message{To: to, Payload: payload, Bits: qubits, Quantum: true}
+}
+
 // Broadcast builds one identical message per listed neighbour.
 func Broadcast(neighbors []int, payload any, bits int) []Message {
 	out := make([]Message, 0, len(neighbors))

@@ -19,6 +19,7 @@ import (
 	"qdc/internal/congest"
 	"qdc/internal/dist/engine"
 	"qdc/internal/graph"
+	"qdc/internal/quantum"
 )
 
 // ErrBadInput reports invalid protocol parameters.
@@ -35,12 +36,25 @@ func ClassicalRounds(b, bandwidth, distance int) int {
 
 // QuantumRounds is the O(√b · D) round cost of the distributed Grover
 // protocol: √b search iterations, each propagating its query across the
-// distance D separating the two players.
+// distance D separating the two players. It is quantum.GroverRounds under
+// its Example 1.1 name, and the formula engine.NewQuantum re-accounts the
+// pipelined protocol with.
 func QuantumRounds(b, distance int) int {
-	if b < 1 || distance < 1 {
-		return 0
+	return quantum.GroverRounds(b, distance)
+}
+
+// MeasuredOverhead bounds the rounds the executed pipelined protocol pays
+// beyond the ClassicalRounds formula: the verdict's return trip across the
+// distance separating the players plus the constant rounds that create and
+// terminate it. Predictions made from the formulas are guaranteed against
+// measured runs only once the formula margin exceeds this slack — the
+// crossover report and the property tests both draw their "decisive" band
+// from it.
+func MeasuredOverhead(distance int) int {
+	if distance < 0 {
+		return 4
 	}
-	return int(math.Ceil(math.Sqrt(float64(b)))) * distance
+	return distance + 4
 }
 
 // CrossoverDiameter returns the smallest distance D at which the classical

@@ -1,0 +1,156 @@
+package disjointness_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qdc/internal/bounds"
+	"qdc/internal/dist/disjointness"
+	"qdc/internal/dist/engine"
+	"qdc/internal/graph"
+	"qdc/internal/quantum"
+)
+
+// TestFormulasMatchBounds pins the integer cost formulas of this package to
+// the closed-form float formulas of internal/bounds across a randomized
+// (b, B, D) grid: the two are independent implementations of the same
+// Example 1.1 expressions and must agree exactly.
+func TestFormulasMatchBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		b := 1 + rng.Intn(1<<14)
+		bw := 1 + rng.Intn(256)
+		d := 1 + rng.Intn(512)
+
+		if got, want := disjointness.ClassicalRounds(b, bw, d), bounds.DisjointnessClassicalRounds(float64(b), float64(bw), float64(d)); float64(got) != want {
+			t.Fatalf("ClassicalRounds(%d,%d,%d) = %d, bounds formula = %g", b, bw, d, got, want)
+		}
+		if got, want := disjointness.QuantumRounds(b, d), bounds.DisjointnessQuantumRounds(float64(b), float64(d)); float64(got) != want {
+			t.Fatalf("QuantumRounds(%d,%d) = %d, bounds formula = %g", b, d, got, want)
+		}
+		got := disjointness.CrossoverDiameter(b, bw)
+		want := bounds.DisjointnessCrossoverDiameter(float64(b), float64(bw))
+		if math.IsInf(want, 1) {
+			if got != math.MaxInt32 {
+				t.Fatalf("CrossoverDiameter(%d,%d) = %d, bounds formula is +Inf", b, bw, got)
+			}
+		} else if float64(got) != want {
+			t.Fatalf("CrossoverDiameter(%d,%d) = %d, bounds formula = %g", b, bw, got, want)
+		}
+		// QuantumRounds must also stay the shared Grover formula.
+		if disjointness.QuantumRounds(b, d) != quantum.GroverRounds(b, d) {
+			t.Fatalf("QuantumRounds(%d,%d) != quantum.GroverRounds", b, d)
+		}
+	}
+}
+
+// TestCrossoverIsTheTippingPoint checks the defining property of the
+// crossover diameter on a randomized grid: at D* the classical formula is
+// at least as fast as the quantum one, and at D*−1 it is strictly slower.
+func TestCrossoverIsTheTippingPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		b := 2 + rng.Intn(1<<14)
+		bw := 1 + rng.Intn(256)
+		dstar := disjointness.CrossoverDiameter(b, bw)
+		if dstar == math.MaxInt32 {
+			continue // ⌈√b⌉ <= 1 cannot happen for b >= 2
+		}
+		if c, q := disjointness.ClassicalRounds(b, bw, dstar), disjointness.QuantumRounds(b, dstar); c > q {
+			t.Fatalf("b=%d B=%d: classical %d > quantum %d at the crossover D*=%d", b, bw, c, q, dstar)
+		}
+		if dstar > 1 {
+			d := dstar - 1
+			if c, q := disjointness.ClassicalRounds(b, bw, d), disjointness.QuantumRounds(b, d); q >= c {
+				t.Fatalf("b=%d B=%d: quantum %d >= classical %d below the crossover (D=%d)", b, bw, q, c, d)
+			}
+		}
+	}
+}
+
+// TestMeasuredWinnerMatchesCrossoverSide runs the real pipelined protocol
+// under engine.NewLocal against the same execution under engine.NewQuantum
+// on deterministic paths and checks that the cheaper measured backend is
+// the side disjointness.CrossoverDiameter predicts.
+//
+// The measured classical protocol pays the formula's Θ(D + b/B) plus at
+// most MeasuredOverhead(D) extra rounds (the verdict's return trip), so the
+// prediction is exact on the quantum side of the crossover and guaranteed
+// on the classical side once the formula margin exceeds that slack; the
+// handful of in-between diameters are skipped as near-crossover.
+func TestMeasuredWinnerMatchesCrossoverSide(t *testing.T) {
+	quantumSide, classicalSide := 0, 0
+	for _, bw := range []int{1, 2, 4, 8} {
+		b := 8 * bw
+		dstar := disjointness.CrossoverDiameter(b, bw)
+		for _, d := range []int{1, 2, 3, 4, 6, 8, 12, 16, 24, 32} {
+			nodes := d + 1
+			x, y := deterministicInputs(b, int64(100*bw+d))
+
+			cres, err := disjointness.RunClassical(nodes, bw, x, y, 1)
+			if err != nil {
+				t.Fatalf("B=%d D=%d classical: %v", bw, d, err)
+			}
+			qr, err := engine.NewQuantum(graph.Path(nodes), bw, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qres, err := disjointness.RunOn(qr, x, y)
+			if err != nil {
+				t.Fatalf("B=%d D=%d quantum: %v", bw, d, err)
+			}
+			if cres.Disjoint != qres.Disjoint {
+				t.Fatalf("B=%d D=%d: verdicts diverge between backends", bw, d)
+			}
+			// The quantum backend's measured rounds are exactly the paper's
+			// O(√b·D) formula: the bottleneck edge carries b bits.
+			if want := disjointness.QuantumRounds(b, d); qres.Rounds != want {
+				t.Fatalf("B=%d D=%d: quantum backend measured %d rounds, want %d", bw, d, qres.Rounds, want)
+			}
+			// The slack bound everything decisive rests on: the measured
+			// classical protocol stays within MeasuredOverhead of the formula.
+			formula := disjointness.ClassicalRounds(b, bw, d)
+			if cres.Rounds < formula || cres.Rounds > formula+disjointness.MeasuredOverhead(d) {
+				t.Fatalf("B=%d D=%d: classical measured %d rounds, outside [%d, %d+MeasuredOverhead(%d)]",
+					bw, d, cres.Rounds, formula, formula, d)
+			}
+
+			predictQuantum := d < dstar
+			decisiveClassical := disjointness.QuantumRounds(b, d) >= disjointness.ClassicalRounds(b, bw, d)+disjointness.MeasuredOverhead(d)
+			switch {
+			case predictQuantum:
+				if qres.Rounds >= cres.Rounds {
+					t.Errorf("B=%d D=%d (< D*=%d): quantum measured %d rounds, classical %d — prediction says quantum wins",
+						bw, d, dstar, qres.Rounds, cres.Rounds)
+				}
+				quantumSide++
+			case decisiveClassical:
+				if cres.Rounds > qres.Rounds {
+					t.Errorf("B=%d D=%d (>= D*=%d): classical measured %d rounds, quantum %d — prediction says classical wins",
+						bw, d, dstar, cres.Rounds, qres.Rounds)
+				}
+				classicalSide++
+			}
+		}
+	}
+	if quantumSide == 0 || classicalSide == 0 {
+		t.Fatalf("sweep did not cover both crossover sides: %d quantum-side, %d classical-side points", quantumSide, classicalSide)
+	}
+}
+
+// deterministicInputs draws two sparse b-bit sets from a fixed seed.
+func deterministicInputs(b int, seed int64) (x, y []int) {
+	rng := rand.New(rand.NewSource(seed))
+	x = make([]int, b)
+	y = make([]int, b)
+	for i := 0; i < b; i++ {
+		if rng.Float64() < 0.05 {
+			x[i] = 1
+		}
+		if rng.Float64() < 0.05 {
+			y[i] = 1
+		}
+	}
+	return x, y
+}

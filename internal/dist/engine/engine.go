@@ -4,18 +4,25 @@
 // round/message/bit accounting, independent of the backend that actually
 // carries the messages.
 //
-// Two backends implement Runner today:
+// Four backends implement Runner today:
 //
 //   - NewLocal (this package) runs stages directly on a congest.Network —
 //     the plain CONGEST(B) model of Section 2.1 of the paper.
+//   - NewParallel (this package) is the same accounting with rounds stepped
+//     concurrently across worker goroutines, bit-for-bit equivalent.
+//   - NewQuantum (this package) runs stages classically for their outputs
+//     but re-accounts every streaming stage with the distributed-Grover
+//     round formula of Example 1.1 (internal/quantum.GroverRounds): the
+//     quantum cost model under which Set Disjointness beats the classical
+//     Θ(D + b/B) pipeline at small diameters.
 //   - simulation.Runner (internal/simulation) runs the same stages on the
 //     lower-bound network while re-accounting every message to the three
 //     parties of the Server model (the Quantum Simulation Theorem,
 //     Theorem 3.5).
 //
-// Because both backends expose the identical RunStage contract, every
+// Because all backends expose the identical RunStage contract, every
 // algorithm in internal/dist/{verify,mst,disjointness} executes unchanged
-// under either accounting; see DESIGN.md for the substitution table.
+// under any accounting; see DESIGN.md for the substitution table.
 package engine
 
 import (
@@ -70,8 +77,13 @@ type Stats struct {
 	Rounds int
 	// Messages is the total number of messages delivered.
 	Messages int
-	// Bits is the total number of bits sent over all edges in all rounds.
+	// Bits is the total number of bits sent over all edges in all rounds,
+	// classical bits and qubits together.
 	Bits int64
+	// QuantumBits is the subset of Bits carried as qubits: quantum-marked
+	// congest messages plus the query registers the Grover re-accounting
+	// backend charges. Zero under the purely classical backends.
+	QuantumBits int64 `json:",omitempty"`
 }
 
 // Sub returns the difference s − prev, the cost incurred between two
@@ -79,10 +91,11 @@ type Stats struct {
 // when sharing a Runner with earlier stages.
 func (s Stats) Sub(prev Stats) Stats {
 	return Stats{
-		Stages:   s.Stages - prev.Stages,
-		Rounds:   s.Rounds - prev.Rounds,
-		Messages: s.Messages - prev.Messages,
-		Bits:     s.Bits - prev.Bits,
+		Stages:      s.Stages - prev.Stages,
+		Rounds:      s.Rounds - prev.Rounds,
+		Messages:    s.Messages - prev.Messages,
+		Bits:        s.Bits - prev.Bits,
+		QuantumBits: s.QuantumBits - prev.QuantumBits,
 	}
 }
 
@@ -108,8 +121,9 @@ type Runner interface {
 // Local is the plain CONGEST(B) backend: stages run directly on a
 // congest.Network with no extra accounting.
 type Local struct {
-	net   *congest.Network
-	stats Stats
+	net    *congest.Network
+	cancel func() bool
+	stats  Stats
 }
 
 // NewLocal returns a Runner executing stages on a fresh CONGEST network over
@@ -126,9 +140,13 @@ func NewLocal(topo congest.Topology, bandwidth int, seed int64) (*Local, error) 
 	return &Local{net: net}, nil
 }
 
+// SetCancel installs a cancellation poll checked at every round boundary of
+// subsequent stages; see congest.Options.Cancel.
+func (l *Local) SetCancel(cancel func() bool) { l.cancel = cancel }
+
 // RunStage implements Runner.
 func (l *Local) RunStage(factory congest.NodeFactory, inputs map[int]any, maxRounds int) (*congest.Result, error) {
-	return runNetworkStage(l.net, &l.stats, factory, inputs, congest.Options{MaxRounds: maxRounds})
+	return runNetworkStage(l.net, &l.stats, factory, inputs, congest.Options{MaxRounds: maxRounds, Cancel: l.cancel})
 }
 
 // runNetworkStage installs the inputs, runs one stage on a congest.Network
@@ -145,6 +163,7 @@ func runNetworkStage(net *congest.Network, stats *Stats, factory congest.NodeFac
 		stats.Rounds += res.Rounds
 		stats.Messages += res.TotalMessages
 		stats.Bits += res.TotalBits
+		stats.QuantumBits += res.QuantumBits
 	}
 	if err != nil {
 		return res, fmt.Errorf("engine: stage %d: %w", stats.Stages, err)

@@ -20,6 +20,7 @@ import (
 type Parallel struct {
 	net     *congest.Network
 	workers int
+	cancel  func() bool
 	stats   Stats
 }
 
@@ -43,9 +44,13 @@ func NewParallel(topo congest.Topology, bandwidth int, seed int64) (*Parallel, e
 // avoid oversubscription when many runners execute side by side.
 func (p *Parallel) SetWorkers(workers int) { p.workers = workers }
 
+// SetCancel installs a cancellation poll checked at every round boundary of
+// subsequent stages; see congest.Options.Cancel.
+func (p *Parallel) SetCancel(cancel func() bool) { p.cancel = cancel }
+
 // RunStage implements Runner.
 func (p *Parallel) RunStage(factory congest.NodeFactory, inputs map[int]any, maxRounds int) (*congest.Result, error) {
-	return runNetworkStage(p.net, &p.stats, factory, inputs, congest.Options{MaxRounds: maxRounds, Workers: p.workers})
+	return runNetworkStage(p.net, &p.stats, factory, inputs, congest.Options{MaxRounds: maxRounds, Workers: p.workers, Cancel: p.cancel})
 }
 
 // Bandwidth implements Runner.

@@ -1,0 +1,153 @@
+package exp
+
+import (
+	"sort"
+
+	"qdc/internal/dist/disjointness"
+)
+
+// CrossoverPoint pairs one disjointness path scenario's classical-backend
+// record with its quantum-backend record and compares the measured winner
+// against the side disjointness.CrossoverDiameter predicts.
+type CrossoverPoint struct {
+	Topology  TopologySpec `json:"topology"`
+	Bandwidth int          `json:"bandwidth"`
+	// Distance is the endpoint hop distance D (path size − 1).
+	Distance int `json:"distance"`
+	// InputBits is the input size b of the scenario (the 8B rule).
+	InputBits int `json:"input_bits"`
+	// ClassicalRounds and QuantumRounds are the measured per-backend costs.
+	ClassicalRounds int `json:"classical_rounds"`
+	QuantumRounds   int `json:"quantum_rounds"`
+	// MeasuredWinner is "quantum" when the quantum backend took strictly
+	// fewer rounds, else "classical" (ties go to classical, matching
+	// CrossoverDiameter's "at least as fast" convention).
+	MeasuredWinner string `json:"measured_winner"`
+	// PredictedCrossover is disjointness.CrossoverDiameter(b, B): the
+	// smallest D at which the classical pipeline is predicted to win.
+	PredictedCrossover int `json:"predicted_crossover"`
+	// PredictedWinner is the side of the crossover D falls on.
+	PredictedWinner string `json:"predicted_winner"`
+	// Agree reports MeasuredWinner == PredictedWinner.
+	Agree bool `json:"agree"`
+	// Decisive reports whether the prediction is outside the protocol's
+	// constant-factor ambiguity band. The measured classical protocol pays
+	// the formula's D + ⌈b/B⌉ plus disjointness.MeasuredOverhead(D) extra
+	// rounds at most, so when the quantum formula wins it always wins
+	// measured too, while a predicted classical win is only guaranteed
+	// measured once the formula margin exceeds that slack. Near-crossover
+	// points are reported but flagged non-decisive.
+	Decisive bool `json:"decisive"`
+}
+
+// CrossoverReport pairs the disjointness records of a result set — same
+// topology and bandwidth, BackendQuantum against its classical counterpart
+// (BackendLocal, or BackendParallel when no local record exists) — and
+// reports one CrossoverPoint per pair, sorted by bandwidth then distance.
+// Failed records and unpaired scenarios are skipped.
+func CrossoverReport(records []Record) []CrossoverPoint {
+	type pairKey struct {
+		topo      TopologySpec
+		bandwidth int
+	}
+	classical := make(map[pairKey]Record)
+	quantum := make(map[pairKey]Record)
+	for _, r := range records {
+		if r.Scenario.Algorithm != AlgDisjointness || r.Failed() {
+			continue
+		}
+		key := pairKey{topo: r.Scenario.Topology, bandwidth: r.Scenario.Bandwidth}
+		switch r.Scenario.Backend {
+		case BackendQuantum:
+			quantum[key] = r
+		case BackendLocal:
+			classical[key] = r
+		case BackendParallel:
+			if _, ok := classical[key]; !ok {
+				classical[key] = r
+			}
+		}
+	}
+
+	var out []CrossoverPoint
+	for key, qr := range quantum {
+		cr, ok := classical[key]
+		if !ok {
+			continue
+		}
+		d := key.topo.Size - 1
+		b := DisjointnessInputBits(key.bandwidth)
+		p := CrossoverPoint{
+			Topology:           key.topo,
+			Bandwidth:          key.bandwidth,
+			Distance:           d,
+			InputBits:          b,
+			ClassicalRounds:    cr.Stats.Rounds,
+			QuantumRounds:      qr.Stats.Rounds,
+			PredictedCrossover: disjointness.CrossoverDiameter(b, key.bandwidth),
+		}
+		p.MeasuredWinner = "classical"
+		if p.QuantumRounds < p.ClassicalRounds {
+			p.MeasuredWinner = "quantum"
+		}
+		p.PredictedWinner = "classical"
+		if d < p.PredictedCrossover {
+			p.PredictedWinner = "quantum"
+		}
+		p.Agree = p.MeasuredWinner == p.PredictedWinner
+		formulaClassical := disjointness.ClassicalRounds(b, key.bandwidth, d)
+		formulaQuantum := disjointness.QuantumRounds(b, d)
+		p.Decisive = p.PredictedWinner == "quantum" ||
+			formulaQuantum >= formulaClassical+disjointness.MeasuredOverhead(d)
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bandwidth != out[j].Bandwidth {
+			return out[i].Bandwidth < out[j].Bandwidth
+		}
+		return out[i].Distance < out[j].Distance
+	})
+	return out
+}
+
+// CrossoverSummary aggregates the points of one bandwidth: the smallest
+// measured diameter at which the classical backend won, next to the
+// predicted crossover.
+type CrossoverSummary struct {
+	Bandwidth int `json:"bandwidth"`
+	InputBits int `json:"input_bits"`
+	// MeasuredCrossover is the smallest swept D whose measured winner was
+	// classical; 0 when the quantum backend won at every swept diameter.
+	MeasuredCrossover int `json:"measured_crossover"`
+	// PredictedCrossover is disjointness.CrossoverDiameter(b, B).
+	PredictedCrossover int `json:"predicted_crossover"`
+	// Points is the number of paired diameters swept at this bandwidth.
+	Points int `json:"points"`
+}
+
+// MeasuredCrossovers condenses a crossover report into one summary per
+// bandwidth, sorted by bandwidth.
+func MeasuredCrossovers(points []CrossoverPoint) []CrossoverSummary {
+	byBW := make(map[int]*CrossoverSummary)
+	for _, p := range points {
+		s := byBW[p.Bandwidth]
+		if s == nil {
+			s = &CrossoverSummary{
+				Bandwidth:          p.Bandwidth,
+				InputBits:          p.InputBits,
+				PredictedCrossover: p.PredictedCrossover,
+			}
+			byBW[p.Bandwidth] = s
+		}
+		s.Points++
+		if p.MeasuredWinner == "classical" && (s.MeasuredCrossover == 0 || p.Distance < s.MeasuredCrossover) {
+			s.MeasuredCrossover = p.Distance
+		}
+	}
+	out := make([]CrossoverSummary, 0, len(byBW))
+	for _, s := range byBW {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bandwidth < out[j].Bandwidth })
+	return out
+}

@@ -167,8 +167,9 @@ func TestRunScenarioBadSpecs(t *testing.T) {
 	bad := []Scenario{
 		{Name: "family", Topology: TopologySpec{Family: "moebius", Size: 8}, Algorithm: AlgVerify, Backend: BackendLocal, Bandwidth: 32},
 		{Name: "algorithm", Topology: TopologySpec{Family: FamilyPath, Size: 8}, Algorithm: "sorting", Backend: BackendLocal, Bandwidth: 32},
-		{Name: "backend", Topology: TopologySpec{Family: FamilyPath, Size: 8}, Algorithm: AlgVerify, Backend: "quantum", Bandwidth: 32},
+		{Name: "backend", Topology: TopologySpec{Family: FamilyPath, Size: 8}, Algorithm: AlgVerify, Backend: "telepathy", Bandwidth: 32},
 		{Name: "sim-needs-lbnet", Topology: TopologySpec{Family: FamilyPath, Size: 8}, Algorithm: AlgVerify, Backend: BackendSimulation, Bandwidth: 32},
+		{Name: "quantum-needs-disjointness", Topology: TopologySpec{Family: FamilyPath, Size: 8}, Algorithm: AlgVerify, Backend: BackendQuantum, Bandwidth: 32},
 	}
 	for _, s := range bad {
 		rec := RunScenario(s)
@@ -212,7 +213,7 @@ func TestExecutePanicAndTimeoutIsolation(t *testing.T) {
 	opts := ExecOptions{
 		Workers: 3,
 		Timeout: 50 * time.Millisecond,
-		run: func(s Scenario) Record {
+		run: func(s Scenario, cancel func() bool) Record {
 			switch s.Name {
 			case "boom":
 				panic("node exploded")

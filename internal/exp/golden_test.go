@@ -1,0 +1,255 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"qdc/internal/dist/engine"
+)
+
+// update regenerates the golden files under testdata/:
+//
+//	go test ./internal/exp -run Golden -update
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// goldenRecords is a fixed, fully deterministic record set covering the
+// sink-visible surface: a passing classical run, a quantum-backend run with
+// qubit accounting, and a failed run with an error. WallMillis is zero
+// everywhere — it is the one field the pipeline promises not to reproduce.
+func goldenRecords() []Record {
+	return []Record{
+		{
+			Scenario: Scenario{
+				Name:      "path9/disjointness/local/B4",
+				Topology:  TopologySpec{Family: FamilyPath, Size: 9},
+				Algorithm: AlgDisjointness,
+				Backend:   BackendLocal,
+				Bandwidth: 4,
+				Seed:      41,
+			},
+			Stats:  engine.Stats{Stages: 1, Rounds: 26, Messages: 74, Bits: 263},
+			OK:     true,
+			Detail: "b=32 verdict=true want=true rounds=26 (Θ(D+b/B)=16)",
+		},
+		{
+			Scenario: Scenario{
+				Name:      "path9/disjointness/quantum/B4",
+				Topology:  TopologySpec{Family: FamilyPath, Size: 9},
+				Algorithm: AlgDisjointness,
+				Backend:   BackendQuantum,
+				Bandwidth: 4,
+				Seed:      42,
+			},
+			Stats:  engine.Stats{Stages: 1, Rounds: 48, Messages: 48, Bits: 288, QuantumBits: 288},
+			OK:     true,
+			Detail: "b=32 verdict=true want=true rounds=48 (Θ(D+b/B)=16); grover: b=32 D=8 quantum_rounds=48 classical_rounds=26",
+		},
+		{
+			Scenario: Scenario{
+				Name:      "cycle8/verify/local/B32",
+				Topology:  TopologySpec{Family: FamilyCycle, Size: 8},
+				Algorithm: AlgVerify,
+				Backend:   BackendLocal,
+				Bandwidth: 32,
+				Seed:      43,
+			},
+			Error: "exp: verify needs a topology with at least one edge",
+		},
+	}
+}
+
+// checkGolden compares got against the named golden file, rewriting it
+// under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create it): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from the golden file.\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+// TestGoldenJSONSink pins the exact bytes of a BENCH-style JSON snapshot:
+// records sorted by scenario name, two-space indentation, quantum bits
+// present only where charged.
+func TestGoldenJSONSink(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONSink(&buf)
+	recs := goldenRecords()
+	// Write out of order: the sink must sort on Close.
+	for _, i := range []int{2, 0, 1} {
+		if err := sink.Write(recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "records_golden.json", buf.Bytes())
+
+	back, err := readRecordsBytes(t, buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{recs[2], recs[0], recs[1]} // name order
+	if !reflect.DeepEqual(back, want) {
+		t.Errorf("JSON snapshot did not round-trip:\n%+v\nwant:\n%+v", back, want)
+	}
+}
+
+// TestGoldenJSONLSink pins the JSONL stream format: one compact object per
+// line in write (completion) order.
+func TestGoldenJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	recs := goldenRecords()
+	for _, r := range recs {
+		if err := sink.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "records_golden.jsonl", buf.Bytes())
+
+	back, err := readRecordsBytes(t, buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, recs) {
+		t.Errorf("JSONL stream did not round-trip:\n%+v\nwant:\n%+v", back, recs)
+	}
+}
+
+// readRecordsBytes routes bytes through ReadRecords via a temp file, so the
+// golden tests exercise the same sniffing loader the CLI uses.
+func readRecordsBytes(t *testing.T, data []byte) ([]Record, error) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "records")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return ReadRecords(path)
+}
+
+// TestGoldenCompare pins the Compare diff of two fixed snapshots: a cost
+// regression, a verdict break, an improvement, and asymmetric scenario sets.
+func TestGoldenCompare(t *testing.T) {
+	recs := goldenRecords()
+	old := []Record{recs[0], recs[1]}
+	newer := make([]Record, 2, 3)
+	copy(newer, old)
+	newer[0].Stats.Rounds += 5 // rounds regression on the local record
+	newer[0].Stats.Bits -= 32  // bits improvement on the same record
+	newer[1].OK = false        // verdict break on the quantum record
+	newer[1].Detail = "verdicts diverged"
+	newer = append(newer, Record{Scenario: Scenario{Name: "fresh/scenario"}, OK: true})
+
+	diff := Compare(old, newer)
+	got, err := json.MarshalIndent(diff, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	checkGolden(t, "compare_golden.json", got)
+}
+
+func TestReadRecordsEdgeCases(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	t.Run("empty snapshot", func(t *testing.T) {
+		recs, err := ReadRecords(write("empty.jsonl", ""))
+		if err != nil {
+			t.Fatalf("an empty results file must load as zero records, got error %v", err)
+		}
+		if len(recs) != 0 {
+			t.Fatalf("read %d records from an empty file", len(recs))
+		}
+	})
+	t.Run("empty array snapshot", func(t *testing.T) {
+		recs, err := ReadRecords(write("empty.json", "[]\n"))
+		if err != nil || len(recs) != 0 {
+			t.Fatalf("empty array: recs=%v err=%v", recs, err)
+		}
+	})
+	t.Run("corrupt line", func(t *testing.T) {
+		good, _ := json.Marshal(goldenRecords()[0])
+		path := write("corrupt.jsonl", string(good)+"\n{\"scenario\": TRUNC\n")
+		_, err := ReadRecords(path)
+		if err == nil {
+			t.Fatal("a corrupt JSONL line must be an explicit error")
+		}
+		if !strings.Contains(err.Error(), path) {
+			t.Errorf("corrupt-line error does not name the file: %v", err)
+		}
+	})
+	t.Run("corrupt array", func(t *testing.T) {
+		_, err := ReadRecords(write("corrupt.json", "[{\"scenario\":}]"))
+		if err == nil {
+			t.Fatal("a corrupt JSON array must be an explicit error")
+		}
+	})
+	t.Run("missing file", func(t *testing.T) {
+		if _, err := ReadRecords(filepath.Join(dir, "absent.json")); err == nil {
+			t.Fatal("a missing results file must be an explicit error")
+		}
+	})
+}
+
+func TestCompareEdgeCases(t *testing.T) {
+	recs := goldenRecords()
+
+	t.Run("empty old snapshot", func(t *testing.T) {
+		diff := Compare(nil, recs[:2])
+		if !diff.Clean() {
+			t.Errorf("everything-added diff must be clean, got %+v", diff.Regressions)
+		}
+		if len(diff.Added) != 2 || len(diff.Removed) != 0 {
+			t.Errorf("added=%v removed=%v, want 2 added", diff.Added, diff.Removed)
+		}
+	})
+	t.Run("empty new snapshot", func(t *testing.T) {
+		diff := Compare(recs[:2], nil)
+		if !diff.Clean() {
+			t.Errorf("everything-removed diff must be clean, got %+v", diff.Regressions)
+		}
+		if len(diff.Removed) != 2 || len(diff.Added) != 0 {
+			t.Errorf("added=%v removed=%v, want 2 removed", diff.Added, diff.Removed)
+		}
+	})
+	t.Run("mismatched scenario sets", func(t *testing.T) {
+		diff := Compare(recs[:1], recs[1:2])
+		if len(diff.Added) != 1 || diff.Added[0] != recs[1].Scenario.Name {
+			t.Errorf("added = %v", diff.Added)
+		}
+		if len(diff.Removed) != 1 || diff.Removed[0] != recs[0].Scenario.Name {
+			t.Errorf("removed = %v", diff.Removed)
+		}
+	})
+}

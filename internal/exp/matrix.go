@@ -29,6 +29,10 @@ type Matrix struct {
 //     FamilyPath and a non-simulation backend;
 //   - BackendSimulation re-accounts messages on the lower-bound network,
 //     so it needs FamilyLBNet;
+//   - BackendQuantum re-accounts with the Grover substitution, which the
+//     paper licenses only for the Set Disjointness family (for everything
+//     else the Ω̃(√n + D) lower bounds survive quantumly), so it needs
+//     AlgDisjointness;
 //   - AlgMST (exact) sends full weight words, so the bandwidth must carry
 //     the widest candidate message for the topology's size.
 //
@@ -46,6 +50,9 @@ func Compatible(t TopologySpec, algorithm, backend string, bandwidth int) (bool,
 	}
 	if backend == BackendSimulation && t.Family != FamilyLBNet {
 		return false, "the simulation backend needs the lower-bound network"
+	}
+	if backend == BackendQuantum && algorithm != AlgDisjointness {
+		return false, "the quantum backend re-accounts only the disjointness protocol"
 	}
 	if algorithm == AlgMST {
 		// Widest exact-MST message: tag + has-flag + two IDs + weight word.
@@ -100,7 +107,7 @@ func (m Matrix) Expand() []Scenario {
 
 // matrices is the registry of named sweeps cmd/qdcbench exposes via -matrix.
 var matrices = map[string]Matrix{
-	// quick is the smoke-test sweep: small networks, two backends, every
+	// quick is the smoke-test sweep: small networks, three backends, every
 	// algorithm class. CI runs it on every push.
 	"quick": {
 		Name: "quick",
@@ -110,16 +117,18 @@ var matrices = map[string]Matrix{
 			{Family: FamilyRandom, Size: 12, Param: 0.3, MaxWeight: 16},
 		},
 		Bandwidths: []int{32},
-		Backends:   []string{BackendLocal, BackendParallel},
+		Backends:   []string{BackendLocal, BackendParallel, BackendQuantum},
 		Algorithms: []string{AlgVerify, AlgMSTApprox, AlgDisjointness},
 		BaseSeed:   1,
 	},
 	// default is the standing BENCH sweep: every topology family, both
-	// bandwidth regimes, all three backends, all four algorithms —
-	// 79 scenarios.
+	// bandwidth regimes, all four backends, all four algorithms. The short
+	// path5 exists so the disjointness local/quantum pairs probe a small
+	// diameter as well as path33's large one.
 	"default": {
 		Name: "default",
 		Topologies: []TopologySpec{
+			{Family: FamilyPath, Size: 5},
 			{Family: FamilyPath, Size: 33},
 			{Family: FamilyCycle, Size: 32},
 			{Family: FamilyStar, Size: 24},
@@ -129,7 +138,7 @@ var matrices = map[string]Matrix{
 			{Family: FamilyLBNet, Size: 6, Param: 17},
 		},
 		Bandwidths: []int{32, 128},
-		Backends:   []string{BackendLocal, BackendParallel, BackendSimulation},
+		Backends:   []string{BackendLocal, BackendParallel, BackendSimulation, BackendQuantum},
 		Algorithms: []string{AlgVerify, AlgMST, AlgMSTApprox, AlgDisjointness},
 		BaseSeed:   1,
 	},
@@ -146,8 +155,28 @@ var matrices = map[string]Matrix{
 			{Family: FamilyLBNet, Size: 10, Param: 33},
 		},
 		Bandwidths: []int{64, 256},
-		Backends:   []string{BackendLocal, BackendParallel, BackendSimulation},
+		Backends:   []string{BackendLocal, BackendParallel, BackendSimulation, BackendQuantum},
 		Algorithms: []string{AlgVerify, AlgMST, AlgMSTApprox, AlgDisjointness},
+		BaseSeed:   1,
+	},
+	// crossover is the Example 1.1 sweep: disjointness only, local vs
+	// quantum on paths whose diameters straddle the predicted crossover
+	// (with b = 8B the crossover diameter is 4 at B=1 and 2 at B=4/B=8, so
+	// both sides of the separation appear on every bandwidth).
+	"crossover": {
+		Name: "crossover",
+		Topologies: []TopologySpec{
+			{Family: FamilyPath, Size: 2},
+			{Family: FamilyPath, Size: 3},
+			{Family: FamilyPath, Size: 4},
+			{Family: FamilyPath, Size: 5},
+			{Family: FamilyPath, Size: 9},
+			{Family: FamilyPath, Size: 17},
+			{Family: FamilyPath, Size: 33},
+		},
+		Bandwidths: []int{1, 4, 8},
+		Backends:   []string{BackendLocal, BackendQuantum},
+		Algorithms: []string{AlgDisjointness},
 		BaseSeed:   1,
 	},
 }

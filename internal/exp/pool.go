@@ -20,8 +20,11 @@ type ExecOptions struct {
 	// Timeout is the per-scenario wall-clock budget; values <= 0 select
 	// DefaultTimeout.
 	Timeout time.Duration
-	// run overrides the scenario runner in tests.
-	run func(Scenario) Record
+	// run overrides the scenario runner in tests. The cancel poll reports
+	// whether the scenario's timeout has fired; real runners forward it to
+	// congest.Options.Cancel so a timed-out simulation stops at its next
+	// round boundary.
+	run func(s Scenario, cancel func() bool) Record
 }
 
 // Summary aggregates one Execute call.
@@ -39,8 +42,9 @@ type Summary struct {
 // is completion order, not scenario order).
 //
 // Worker isolation: a panicking scenario is converted into a Record with an
-// Error, and a scenario exceeding the timeout is reported as such while its
-// goroutine is abandoned (the simulator's round limit bounds the leak).
+// Error, and a scenario exceeding the timeout is reported as such; the
+// timed-out goroutine sees its cancel poll flip, stops the simulation at
+// the next round boundary, and exits instead of leaking CPU.
 // Execute itself returns an error only for sink failures; per-scenario
 // failures are data, counted in the Summary.
 func Execute(scenarios []Scenario, opts ExecOptions, sinks ...Sink) (Summary, error) {
@@ -68,7 +72,7 @@ func Execute(scenarios []Scenario, opts ExecOptions, sinks ...Sink) (Summary, er
 		if stepWorkers < 1 {
 			stepWorkers = 1
 		}
-		run = func(s Scenario) Record { return runScenario(s, stepWorkers) }
+		run = func(s Scenario, cancel func() bool) Record { return runScenario(s, stepWorkers, cancel) }
 	}
 
 	start := time.Now()
@@ -121,16 +125,28 @@ func Execute(scenarios []Scenario, opts ExecOptions, sinks ...Sink) (Summary, er
 
 // runIsolated executes one scenario on its own goroutine so that the worker
 // survives both panics (in stub runners; RunScenario already recovers its
-// own) and runs that outlive the timeout.
-func runIsolated(s Scenario, timeout time.Duration, run func(Scenario) Record) Record {
+// own) and runs that outlive the timeout. On timeout the expired channel
+// closes, the run's cancel poll starts reporting true, and the scenario
+// goroutine terminates at its next round boundary — the timeout record is
+// returned immediately either way.
+func runIsolated(s Scenario, timeout time.Duration, run func(Scenario, func() bool) Record) Record {
 	ch := make(chan Record, 1)
+	expired := make(chan struct{})
+	cancel := func() bool {
+		select {
+		case <-expired:
+			return true
+		default:
+			return false
+		}
+	}
 	go func() {
 		defer func() {
 			if p := recover(); p != nil {
 				ch <- Record{Scenario: s, Error: fmt.Sprintf("panic: %v", p)}
 			}
 		}()
-		ch <- run(s)
+		ch <- run(s, cancel)
 	}()
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
@@ -138,6 +154,7 @@ func runIsolated(s Scenario, timeout time.Duration, run func(Scenario) Record) R
 	case rec := <-ch:
 		return rec
 	case <-timer.C:
+		close(expired)
 		return Record{Scenario: s, Error: fmt.Sprintf("timeout after %s", timeout)}
 	}
 }

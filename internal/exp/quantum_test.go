@@ -1,0 +1,157 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"qdc/internal/dist/disjointness"
+)
+
+func TestRunScenarioQuantumBackend(t *testing.T) {
+	s := Scenario{
+		Name:      "quantum",
+		Topology:  TopologySpec{Family: FamilyPath, Size: 9},
+		Algorithm: AlgDisjointness,
+		Backend:   BackendQuantum,
+		Bandwidth: 4,
+		Seed:      11,
+	}
+	rec := RunScenario(s)
+	if rec.Error != "" || !rec.OK {
+		t.Fatalf("quantum scenario failed: %+v", rec)
+	}
+	if !strings.Contains(rec.Detail, "grover:") {
+		t.Errorf("quantum record missing Grover accounting detail: %q", rec.Detail)
+	}
+	b := DisjointnessInputBits(s.Bandwidth)
+	d := s.Topology.Size - 1
+	if want := disjointness.QuantumRounds(b, d); rec.Stats.Rounds != want {
+		t.Errorf("quantum stats measured %d rounds, want QuantumRounds(%d,%d) = %d", rec.Stats.Rounds, b, d, want)
+	}
+	if rec.Stats.QuantumBits == 0 || rec.Stats.QuantumBits != rec.Stats.Bits {
+		t.Errorf("quantum backend cost must be all qubits: %+v", rec.Stats)
+	}
+}
+
+// TestDefaultMatrixSweepsQuantumBackend is the registration half of the
+// acceptance criterion: the standing BENCH sweep must pair quantum-backend
+// disjointness scenarios with their classical twins.
+func TestDefaultMatrixSweepsQuantumBackend(t *testing.T) {
+	m, ok := LookupMatrix("default")
+	if !ok {
+		t.Fatal("default matrix not registered")
+	}
+	quantumCells := 0
+	paired := 0
+	byKey := make(map[string]bool)
+	for _, s := range m.Expand() {
+		if s.Backend == BackendLocal && s.Algorithm == AlgDisjointness {
+			byKey[fmt.Sprintf("%s/B%d", s.Topology, s.Bandwidth)] = true
+		}
+	}
+	for _, s := range m.Expand() {
+		if s.Backend != BackendQuantum {
+			continue
+		}
+		quantumCells++
+		if s.Algorithm != AlgDisjointness {
+			t.Errorf("quantum cell %s is not a disjointness scenario", s.Name)
+		}
+		if byKey[fmt.Sprintf("%s/B%d", s.Topology, s.Bandwidth)] {
+			paired++
+		}
+	}
+	if quantumCells == 0 {
+		t.Fatal("default matrix contains no quantum-backend scenarios")
+	}
+	if paired != quantumCells {
+		t.Errorf("%d of %d quantum cells have no classical twin", quantumCells-paired, quantumCells)
+	}
+}
+
+// TestCrossoverMatrixMeasuresTheSeparation is the measurement half of the
+// acceptance criterion: running the crossover matrix, the cheaper measured
+// backend on every decisive path scenario matches the side predicted by
+// disjointness.CrossoverDiameter, and both sides of the separation are
+// observed.
+func TestCrossoverMatrixMeasuresTheSeparation(t *testing.T) {
+	m, ok := LookupMatrix("crossover")
+	if !ok {
+		t.Fatal("crossover matrix not registered")
+	}
+	scenarios := m.Expand()
+	var collect Collect
+	sum, err := Execute(scenarios, ExecOptions{Workers: 4}, &collect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Failed != 0 {
+		for _, r := range collect.Records {
+			if r.Failed() {
+				t.Errorf("failed: %s: %s", r.Scenario.Name, r.Error)
+			}
+		}
+		t.Fatalf("summary: %+v", sum)
+	}
+
+	points := CrossoverReport(collect.Records)
+	if len(points) != len(scenarios)/2 {
+		t.Fatalf("paired %d crossover points from %d scenarios", len(points), len(scenarios))
+	}
+	quantumWins, classicalWins := 0, 0
+	for _, p := range points {
+		if !p.Decisive {
+			continue
+		}
+		if !p.Agree {
+			t.Errorf("B=%d D=%d: measured winner %s (classical %d vs quantum %d rounds) disagrees with predicted %s (D*=%d)",
+				p.Bandwidth, p.Distance, p.MeasuredWinner, p.ClassicalRounds, p.QuantumRounds, p.PredictedWinner, p.PredictedCrossover)
+		}
+		switch p.MeasuredWinner {
+		case "quantum":
+			quantumWins++
+		case "classical":
+			classicalWins++
+		}
+	}
+	if quantumWins == 0 || classicalWins == 0 {
+		t.Fatalf("crossover sweep did not observe both sides: %d quantum, %d classical decisive wins", quantumWins, classicalWins)
+	}
+
+	// The per-bandwidth summaries bracket the predicted crossover: quantum
+	// wins strictly below the measured crossover diameter.
+	for _, s := range MeasuredCrossovers(points) {
+		if s.MeasuredCrossover == 0 {
+			t.Errorf("B=%d: classical never won across %d diameters", s.Bandwidth, s.Points)
+			continue
+		}
+		if s.MeasuredCrossover < s.PredictedCrossover {
+			t.Errorf("B=%d: classical already won at D=%d, below the predicted crossover D*=%d",
+				s.Bandwidth, s.MeasuredCrossover, s.PredictedCrossover)
+		}
+	}
+}
+
+// TestQuantumMatchesClassicalVerdicts pins backend substitution: for the
+// same scenario and seed, the quantum backend's verdict must equal the
+// local backend's — only the accounting may differ.
+func TestQuantumMatchesClassicalVerdicts(t *testing.T) {
+	m, _ := LookupMatrix("crossover")
+	for _, s := range m.Expand() {
+		if s.Backend != BackendQuantum {
+			continue
+		}
+		qrec := RunScenario(s)
+		local := s
+		local.Backend = BackendLocal
+		local.Seed = s.Seed // substitution is about the backend, not the seed
+		lrec := RunScenario(local)
+		if qrec.Error != "" || lrec.Error != "" {
+			t.Fatalf("%s: errors quantum=%q local=%q", s.Name, qrec.Error, lrec.Error)
+		}
+		if qrec.OK != lrec.OK {
+			t.Errorf("%s: verdicts diverge: quantum OK=%v local OK=%v", s.Name, qrec.OK, lrec.OK)
+		}
+	}
+}

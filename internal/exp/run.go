@@ -39,14 +39,18 @@ func (r Record) Failed() bool { return r.Error != "" || !r.OK }
 // program panics surface as the record's Error. Cost accounting, inputs and
 // random choices all derive from the scenario seed, so equal scenarios
 // produce equal records (modulo WallMillis).
-func RunScenario(s Scenario) Record { return runScenario(s, 0) }
+func RunScenario(s Scenario) Record { return runScenario(s, 0, nil) }
 
 // runScenario is RunScenario with an explicit stepping-goroutine budget for
-// the parallel backend; stepWorkers <= 0 keeps the backend's GOMAXPROCS
-// default. The executor divides cores between scenario-level and
-// round-level parallelism through it; the budget never changes a record's
-// content, only how many goroutines compute it.
-func runScenario(s Scenario, stepWorkers int) (rec Record) {
+// the parallel backend and an optional cancellation poll. stepWorkers <= 0
+// keeps the backend's GOMAXPROCS default; the executor divides cores
+// between scenario-level and round-level parallelism through it, and the
+// budget never changes a record's content, only how many goroutines compute
+// it. A non-nil cancel is polled by the backend at every round boundary, so
+// a timed-out run stops simulating instead of burning CPU until the round
+// limit; a cancelled run surfaces as a Record with congest.ErrCancelled in
+// its Error.
+func runScenario(s Scenario, stepWorkers int, cancel func() bool) (rec Record) {
 	rec.Scenario = s
 	start := time.Now()
 	defer func() {
@@ -57,6 +61,10 @@ func runScenario(s Scenario, stepWorkers int) (rec Record) {
 		}
 	}()
 
+	if ok, reason := Compatible(s.Topology, s.Algorithm, s.Backend, s.Bandwidth); !ok {
+		rec.Error = "exp: incompatible scenario: " + reason
+		return rec
+	}
 	rng := rand.New(rand.NewSource(s.Seed))
 	topo, err := s.Topology.Build(rng)
 	if err != nil {
@@ -67,6 +75,11 @@ func runScenario(s Scenario, stepWorkers int) (rec Record) {
 	if err != nil {
 		rec.Error = err.Error()
 		return rec
+	}
+	if cancel != nil {
+		if c, ok := runner.(interface{ SetCancel(func() bool) }); ok {
+			c.SetCancel(cancel)
+		}
 	}
 
 	switch s.Algorithm {
@@ -91,6 +104,11 @@ func runScenario(s Scenario, stepWorkers int) (rec Record) {
 		rep := sim.Report()
 		rec.Detail += fmt.Sprintf("; server_cost=%d within_budget=%v", rep.ServerModelCost, rep.WithinRoundBudget)
 	}
+	if qr, ok := runner.(*engine.Quantum); ok {
+		rep := qr.Report()
+		rec.Detail += fmt.Sprintf("; grover: b=%d D=%d quantum_rounds=%d classical_rounds=%d",
+			rep.LastStage.StreamBits, rep.Diameter, rep.Quantum.Rounds, rep.Classical.Rounds)
+	}
 	return rec
 }
 
@@ -106,10 +124,11 @@ func buildRunner(s Scenario, topo *builtTopology, stepWorkers int) (engine.Runne
 		}
 		return r, err
 	case BackendSimulation:
-		if topo.LB == nil {
-			return nil, fmt.Errorf("exp: simulation backend needs the %s family, got %s", FamilyLBNet, s.Topology.Family)
-		}
+		// Compatible has already pinned the family to FamilyLBNet, so
+		// topo.LB is set; NewRunner still rejects a nil network itself.
 		return simulation.NewRunner(topo.LB, s.Bandwidth, s.Seed)
+	case BackendQuantum:
+		return engine.NewQuantum(topo.Graph, s.Bandwidth, s.Seed)
 	default:
 		return nil, fmt.Errorf("exp: unknown backend %q", s.Backend)
 	}
@@ -158,11 +177,17 @@ func runMST(r engine.Runner, g *graph.Graph, alpha float64) (bool, string, error
 	return ok, detail, nil
 }
 
+// DisjointnessInputBits is the input size rule of the disjointness
+// scenarios: b = 8B, so the pipelining term ⌈b/B⌉ = 8 is bandwidth-
+// independent and the classical-vs-quantum crossover moves with B alone.
+// CrossoverReport relies on this rule to reconstruct b from a record.
+func DisjointnessInputBits(bandwidth int) int { return 8 * bandwidth }
+
 // runDisjointness draws two b-bit sets with b = 8B (so pipelining dominates
 // the diameter term), runs the pipelined path protocol, and checks the
 // network's verdict against the direct intersection.
 func runDisjointness(r engine.Runner, rng *rand.Rand) (bool, string, error) {
-	b := 8 * r.Bandwidth()
+	b := DisjointnessInputBits(r.Bandwidth())
 	x := make([]int, b)
 	y := make([]int, b)
 	intersect := false

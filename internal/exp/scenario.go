@@ -53,6 +53,13 @@ const (
 	// BackendSimulation is simulation.NewRunner: the Theorem 3.5 three-party
 	// re-accounting on the lower-bound network (FamilyLBNet only).
 	BackendSimulation = "simulation"
+	// BackendQuantum is engine.NewQuantum: the same classical execution
+	// re-accounted with the distributed-Grover round formula of Example 1.1.
+	// It pairs with BackendLocal on identical path scenarios to measure the
+	// classical-vs-quantum crossover diameter (AlgDisjointness only — the
+	// paper's lower bounds rule out a quantum speed-up for the other
+	// problem families).
+	BackendQuantum = "quantum"
 )
 
 // Algorithms a Scenario can run.

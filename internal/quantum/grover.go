@@ -115,6 +115,30 @@ func GroverIterations(n, marked int) int {
 // Example 1.1 benchmarks for search spaces too large to simulate directly.
 func GroverQueryCost(n, marked int) int { return GroverIterations(n, marked) }
 
+// GroverRounds is the distributed-Grover round formula of Example 1.1: a
+// search over b items needs ⌈√b⌉ oracle iterations, and in a network each
+// iteration propagates its query register across the hop distance separating
+// the querier from the oracle's input, so the round cost is ⌈√b⌉·distance.
+// It is the formula engine.NewQuantum re-accounts streaming stages with and
+// disjointness.QuantumRounds exposes under its paper name; non-positive
+// parameters cost 0.
+func GroverRounds(b, distance int) int {
+	if b < 1 || distance < 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Sqrt(float64(b)))) * distance
+}
+
+// GroverQueryQubits is the width of the query register the distributed
+// Grover protocol routes per iteration: an index into the b-item search
+// space plus one phase ancilla.
+func GroverQueryQubits(b int) int {
+	if b < 2 {
+		return 2
+	}
+	return int(math.Ceil(math.Log2(float64(b)))) + 1
+}
+
 func groverDiffusion(s *State, nQubits int) error {
 	// D = H^n (2|0⟩⟨0| − I) H^n, implemented as: H^n, phase-flip all states
 	// except |0…0⟩, H^n (global phase ignored).

@@ -1,0 +1,67 @@
+package quantum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGroverRoundsFormula(t *testing.T) {
+	cases := []struct {
+		b, distance, want int
+	}{
+		{1, 1, 1},     // ⌈√1⌉·1
+		{8, 1, 3},     // ⌈√8⌉ = 3
+		{8, 4, 12},    // scales linearly with distance
+		{256, 8, 128}, // ⌈√256⌉ = 16
+		{0, 4, 0},     // degenerate inputs cost nothing
+		{16, 0, 0},
+		{-3, 5, 0},
+	}
+	for _, c := range cases {
+		if got := GroverRounds(c.b, c.distance); got != c.want {
+			t.Errorf("GroverRounds(%d, %d) = %d, want %d", c.b, c.distance, got, c.want)
+		}
+	}
+	// The formula is ⌈√b⌉·D for every positive pair.
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 500; i++ {
+		b := 1 + rng.Intn(1<<16)
+		d := 1 + rng.Intn(1024)
+		want := int(math.Ceil(math.Sqrt(float64(b)))) * d
+		if got := GroverRounds(b, d); got != want {
+			t.Fatalf("GroverRounds(%d, %d) = %d, want %d", b, d, got, want)
+		}
+	}
+}
+
+func TestGroverQueryQubits(t *testing.T) {
+	cases := []struct{ b, want int }{
+		{0, 2}, {1, 2}, {2, 2},
+		{8, 4},     // 3 index qubits + 1 ancilla
+		{256, 9},   // 8 + 1
+		{1000, 11}, // ⌈log₂ 1000⌉ = 10, + 1
+	}
+	for _, c := range cases {
+		if got := GroverQueryQubits(c.b); got != c.want {
+			t.Errorf("GroverQueryQubits(%d) = %d, want %d", c.b, got, c.want)
+		}
+	}
+}
+
+// TestGroverRoundsConsistentWithSearch ties the round formula to the actual
+// Grover machinery: the simulated search over b items performs ⌊π/4·√b⌋
+// oracle queries, which the per-hop formula ⌈√b⌉ must dominate.
+func TestGroverRoundsConsistentWithSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, b := range []int{4, 16, 64, 256} {
+		res, err := GroverSearch(b, 1, func(i int) bool { return i == b/2 }, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perHop := GroverRounds(b, 1)
+		if res.OracleQueries > perHop {
+			t.Errorf("b=%d: simulated search used %d queries, formula allows ⌈√b⌉ = %d", b, res.OracleQueries, perHop)
+		}
+	}
+}

@@ -35,6 +35,7 @@ var ErrNilNetwork = errors.New("simulation: nil network")
 type Runner struct {
 	net        *lbnetwork.Network
 	congestNet *congest.Network
+	cancel     func() bool
 	stats      engine.Stats
 
 	carolBits  int64
@@ -95,18 +96,23 @@ func (r *Runner) RunStage(factory congest.NodeFactory, inputs map[int]any, maxRo
 			r.serverBits += int64(msg.Bits)
 		}
 	}
-	res, err := r.congestNet.Run(factory, congest.Options{MaxRounds: maxRounds, Trace: trace})
+	res, err := r.congestNet.Run(factory, congest.Options{MaxRounds: maxRounds, Trace: trace, Cancel: r.cancel})
 	if res != nil {
 		r.stats.Stages++
 		r.stats.Rounds += res.Rounds
 		r.stats.Messages += res.TotalMessages
 		r.stats.Bits += res.TotalBits
+		r.stats.QuantumBits += res.QuantumBits
 	}
 	if err != nil {
 		return res, fmt.Errorf("simulation: stage %d: %w", r.stats.Stages, err)
 	}
 	return res, nil
 }
+
+// SetCancel installs a cancellation poll checked at every round boundary of
+// subsequent stages; see congest.Options.Cancel.
+func (r *Runner) SetCancel(cancel func() bool) { r.cancel = cancel }
 
 // Bandwidth implements engine.Runner.
 func (r *Runner) Bandwidth() int { return r.congestNet.Bandwidth() }

@@ -3,6 +3,7 @@ package qdc
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"qdc/internal/bounds"
@@ -348,6 +349,11 @@ type DisjointnessComparison struct {
 	// MeasuredClassicalRounds is the round count of the real CONGEST run of
 	// the pipelining protocol (0 when the instance is too large to run).
 	MeasuredClassicalRounds int
+	// CrossoverDiameter is the closed-form smallest distance at which the
+	// classical pipeline is at least as fast (bounds formula). When the
+	// quantum protocol never loses it is math.MaxInt32, the same sentinel
+	// the integer formula uses, so the struct stays JSON-marshalable.
+	CrossoverDiameter float64
 	// QuantumWins reports whether the quantum protocol needs fewer rounds.
 	QuantumWins bool
 }
@@ -359,10 +365,14 @@ func RunDisjointnessComparison(inputBits, bandwidth, distance int, seed int64) (
 		return nil, fmt.Errorf("%w: b=%d B=%d D=%d", ErrBadParameters, inputBits, bandwidth, distance)
 	}
 	out := &DisjointnessComparison{
-		InputBits:       inputBits,
-		Distance:        distance,
-		ClassicalRounds: disjointness.ClassicalRounds(inputBits, bandwidth, distance),
-		QuantumRounds:   disjointness.QuantumRounds(inputBits, distance),
+		InputBits:         inputBits,
+		Distance:          distance,
+		ClassicalRounds:   disjointness.ClassicalRounds(inputBits, bandwidth, distance),
+		QuantumRounds:     disjointness.QuantumRounds(inputBits, distance),
+		CrossoverDiameter: bounds.DisjointnessCrossoverDiameter(float64(inputBits), float64(bandwidth)),
+	}
+	if math.IsInf(out.CrossoverDiameter, 1) {
+		out.CrossoverDiameter = math.MaxInt32
 	}
 	out.QuantumWins = out.QuantumRounds < out.ClassicalRounds
 	if inputBits <= 1024 && distance <= 256 {

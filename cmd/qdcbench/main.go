@@ -1,24 +1,43 @@
 // Command qdcbench drives the repository's experiments from the command
-// line, in two modes.
+// line, in three modes: matrix sweeps, sweep-scale-out subcommands, and
+// paper tables.
 //
-// Matrix mode runs a named scenario matrix through the internal/exp worker
-// pool and writes machine-readable results, the pipeline BENCH_*.json
-// snapshots are produced with:
+// Matrix mode runs a scenario matrix through the internal/exp worker pool
+// and writes machine-readable results, the pipeline BENCH_*.json snapshots
+// are produced with. -matrix accepts a registered name or a path to a JSON
+// matrix spec (see examples/matrix.json), so sweeps are defined without
+// recompiling:
 //
 //	qdcbench -matrix default -workers 8 -json BENCH_default.json
-//	qdcbench -matrix quick -jsonl run.jsonl
+//	qdcbench -matrix examples/matrix.json -jsonl run.jsonl
 //	qdcbench -matrix default -json new.json -baseline BENCH_default.json
 //	qdcbench -matrix crossover -backends local,quantum
 //	qdcbench -list
 //
 // With -baseline the run is diffed against an earlier results file and any
-// regression (a newly failing scenario, or more rounds/bits on the same
-// deterministic scenario) makes the command exit non-zero. -backends
-// restricts an expanded matrix to a comma-separated backend subset. After
-// every matrix run the summary breaks the scenarios down per backend, and
-// when the run contains classical/quantum disjointness pairs it prints the
-// measured crossover table of Example 1.1 next to the predicted crossover
-// diameter.
+// regression — a newly failing scenario, more rounds/bits on the same
+// deterministic scenario, or a scenario that vanished from the new run —
+// makes the command exit non-zero; -allow-removed accepts removals for
+// intentional matrix shrinks. -backends restricts an expanded matrix to a
+// comma-separated backend subset. After every matrix run the summary breaks
+// the scenarios down per backend, and when the run contains
+// classical/quantum disjointness pairs it prints the measured crossover
+// table of Example 1.1 next to the predicted crossover diameter.
+//
+// Scale-out mode fans one sweep out across processes or machines and folds
+// the results back together. -shard i/n runs the i-th of n deterministic,
+// disjoint slices of the expansion, and the merge subcommand rebuilds the
+// canonical snapshot — byte-identical to an unsharded -json run of the same
+// matrix, which is what makes the fan-out trustworthy. The trend subcommand
+// reads a directory of BENCH_*.json snapshots and prints every scenario's
+// rounds/bits trajectory plus the snapshots it first appeared and was last
+// seen in, turning the single old-vs-new diff into multi-PR drift
+// visibility:
+//
+//	qdcbench -matrix quick -shard 1/2 -jsonl s1.jsonl
+//	qdcbench -matrix quick -shard 2/2 -jsonl s2.jsonl
+//	qdcbench merge -matrix quick -json merged.json s1.jsonl s2.jsonl
+//	qdcbench trend -dir snapshots/
 //
 // Table mode regenerates the paper's tables and figures as text: the
 // Figure 2 bounds table, the Figure 3 MST curves, the server-model hardness
@@ -38,6 +57,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -48,7 +68,7 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "qdcbench: %v\n", err)
 		os.Exit(1)
 	}
@@ -56,15 +76,17 @@ func main() {
 
 type config struct {
 	// Matrix mode.
-	matrix   string
-	backends string
-	workers  int
-	timeout  time.Duration
-	jsonOut  string
-	jsonlOut string
-	baseline string
-	seed     int64
-	list     bool
+	matrix       string
+	backends     string
+	shard        string
+	workers      int
+	timeout      time.Duration
+	jsonOut      string
+	jsonlOut     string
+	baseline     string
+	allowRemoved bool
+	seed         int64
+	list         bool
 
 	// Table mode.
 	figure     int
@@ -77,50 +99,82 @@ type config struct {
 	aspect     float64
 }
 
-func run() error {
+// run dispatches the subcommands (merge, trend) and the flag-driven matrix
+// and table modes. All output goes to out so tests can capture it.
+func run(args []string, out io.Writer) error {
+	if len(args) > 0 {
+		switch args[0] {
+		case "merge":
+			return runMerge(args[1:], out)
+		case "trend":
+			return runTrend(args[1:], out)
+		}
+	}
+
+	fs := flag.NewFlagSet("qdcbench", flag.ContinueOnError)
 	var c config
-	flag.StringVar(&c.matrix, "matrix", "", "run a scenario matrix: "+fmt.Sprint(exp.MatrixNames()))
-	flag.StringVar(&c.backends, "backends", "", "restrict the matrix to these comma-separated backends (e.g. local,quantum)")
-	flag.IntVar(&c.workers, "workers", 0, "concurrent scenario executions (0 = GOMAXPROCS)")
-	flag.DurationVar(&c.timeout, "timeout", exp.DefaultTimeout, "per-scenario wall-clock budget")
-	flag.StringVar(&c.jsonOut, "json", "", "write results as a sorted JSON array to this file")
-	flag.StringVar(&c.jsonlOut, "jsonl", "", "stream results as JSON lines to this file")
-	flag.StringVar(&c.baseline, "baseline", "", "compare results against this earlier JSON/JSONL file")
-	flag.Int64Var(&c.seed, "seed", 0, "override the matrix base seed (0 keeps the registered seed)")
-	flag.BoolVar(&c.list, "list", false, "list the registered matrices and exit")
-	flag.IntVar(&c.figure, "figure", 0, "regenerate a figure: 2 or 3")
-	flag.StringVar(&c.example, "example", "", "regenerate an example: 1.1")
-	flag.StringVar(&c.experiment, "experiment", "", "run an experiment: sim, server, verify, pipeline")
-	flag.BoolVar(&c.all, "all", false, "regenerate every table")
-	flag.IntVar(&c.n, "n", 100_000, "network size for the formula tables")
-	flag.IntVar(&c.bandwidth, "B", 32, "per-edge bandwidth in bits per round")
-	flag.Float64Var(&c.alpha, "alpha", 2, "approximation factor")
-	flag.Float64Var(&c.aspect, "W", 1e5, "weight aspect ratio")
-	flag.Parse()
+	fs.StringVar(&c.matrix, "matrix", "", "run a scenario matrix: a registered name "+fmt.Sprint(exp.MatrixNames())+" or a *.json spec path")
+	fs.StringVar(&c.backends, "backends", "", "restrict the matrix to these comma-separated backends (e.g. local,quantum)")
+	fs.StringVar(&c.shard, "shard", "", "run only slice i/n of the matrix expansion (e.g. 1/2); merge the JSONL outputs with 'qdcbench merge'")
+	fs.IntVar(&c.workers, "workers", 0, "concurrent scenario executions (0 = GOMAXPROCS)")
+	fs.DurationVar(&c.timeout, "timeout", exp.DefaultTimeout, "per-scenario wall-clock budget")
+	fs.StringVar(&c.jsonOut, "json", "", "write results as a canonical sorted JSON array to this file")
+	fs.StringVar(&c.jsonlOut, "jsonl", "", "stream results as JSON lines to this file")
+	fs.StringVar(&c.baseline, "baseline", "", "compare results against this earlier JSON/JSONL file")
+	fs.BoolVar(&c.allowRemoved, "allow-removed", false, "accept scenarios missing from the new run when diffing against -baseline (intentional matrix shrinks)")
+	fs.Int64Var(&c.seed, "seed", 0, "override the matrix base seed (0 keeps the spec's seed)")
+	fs.BoolVar(&c.list, "list", false, "list the registered matrices and exit")
+	fs.IntVar(&c.figure, "figure", 0, "regenerate a figure: 2 or 3")
+	fs.StringVar(&c.example, "example", "", "regenerate an example: 1.1")
+	fs.StringVar(&c.experiment, "experiment", "", "run an experiment: sim, server, verify, pipeline")
+	fs.BoolVar(&c.all, "all", false, "regenerate every table")
+	fs.IntVar(&c.n, "n", 100_000, "network size for the formula tables")
+	fs.IntVar(&c.bandwidth, "B", 32, "per-edge bandwidth in bits per round")
+	fs.Float64Var(&c.alpha, "alpha", 2, "approximation factor")
+	fs.Float64Var(&c.aspect, "W", 1e5, "weight aspect ratio")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if c.list {
 		for _, name := range exp.MatrixNames() {
 			m, _ := exp.LookupMatrix(name)
-			fmt.Printf("%-10s %3d scenarios (%d topologies x %d algorithms x %d backends x %d bandwidths)\n",
+			fmt.Fprintf(out, "%-10s %3d scenarios (%d topologies x %d algorithms x %d backends x %d bandwidths)\n",
 				name, len(m.Expand()), len(m.Topologies), len(m.Algorithms), len(m.Backends), len(m.Bandwidths))
 		}
 		return nil
 	}
 	if c.matrix != "" {
-		return runMatrix(c)
+		return runMatrix(c, out)
 	}
-	return runTables(c)
+	return runTables(c, fs, out)
 }
 
-func runMatrix(c config) error {
-	m, ok := exp.LookupMatrix(c.matrix)
-	if !ok {
-		return fmt.Errorf("unknown matrix %q (have: %v)", c.matrix, exp.MatrixNames())
+func runMatrix(c config, out io.Writer) error {
+	m, err := exp.ResolveMatrix(c.matrix)
+	if err != nil {
+		return err
 	}
 	if c.seed != 0 {
 		m.BaseSeed = c.seed
 	}
-	scenarios := m.Expand()
+	var scenarios []exp.Scenario
+	label := m.Name
+	if c.shard == "" {
+		scenarios = m.Expand()
+	} else {
+		if c.baseline != "" {
+			return fmt.Errorf("-baseline cannot gate a single shard (removals would be spurious); merge the shards and diff the merged snapshot")
+		}
+		i, n, err := exp.ParseShard(c.shard)
+		if err != nil {
+			return err
+		}
+		if scenarios, err = m.Shard(i, n); err != nil {
+			return err
+		}
+		label = fmt.Sprintf("%s shard %d/%d", m.Name, i, n)
+	}
 	if c.backends != "" {
 		keep := make(map[string]bool)
 		for _, b := range strings.Split(c.backends, ",") {
@@ -133,9 +187,15 @@ func runMatrix(c config) error {
 			}
 		}
 		scenarios = filtered
-		if len(scenarios) == 0 {
+	}
+	// An empty shard slice is valid — a fan-out wider than the expansion
+	// must still produce (empty) output files for merge to collect — but an
+	// unsharded run with nothing to do is a spec mistake.
+	if len(scenarios) == 0 && c.shard == "" {
+		if c.backends != "" {
 			return fmt.Errorf("matrix %s has no scenarios on backends %q", m.Name, c.backends)
 		}
+		return fmt.Errorf("matrix %s has no scenarios to run", m.Name)
 	}
 
 	collect := &exp.Collect{}
@@ -165,15 +225,15 @@ func runMatrix(c config) error {
 		return err
 	}
 
-	fmt.Printf("matrix %s: %d scenarios, %d passed, %d failed (%d errors) in %.0f ms\n",
-		m.Name, sum.Scenarios, sum.Passed, sum.Failed, sum.Errors, sum.WallMillis)
-	printBackendBreakdown(collect.Records)
+	fmt.Fprintf(out, "matrix %s: %d scenarios, %d passed, %d failed (%d errors) in %.0f ms\n",
+		label, sum.Scenarios, sum.Passed, sum.Failed, sum.Errors, sum.WallMillis)
+	printBackendBreakdown(out, collect.Records)
 	for _, r := range collect.Records {
 		if r.Failed() {
-			fmt.Printf("  FAIL %-40s %s%s\n", r.Scenario.Name, r.Error, r.Detail)
+			fmt.Fprintf(out, "  FAIL %-40s %s%s\n", r.Scenario.Name, r.Error, r.Detail)
 		}
 	}
-	printCrossover(collect.Records)
+	printCrossover(out, collect.Records)
 
 	if c.baseline != "" {
 		old, err := exp.ReadRecords(c.baseline)
@@ -182,19 +242,25 @@ func runMatrix(c config) error {
 		}
 		diff := exp.Compare(old, collect.Records)
 		for _, d := range diff.Regressions {
-			fmt.Printf("  REGRESSION %s\n", d)
+			fmt.Fprintf(out, "  REGRESSION %s\n", d)
 		}
 		for _, d := range diff.Improvements {
-			fmt.Printf("  improvement %s\n", d)
+			fmt.Fprintf(out, "  improvement %s\n", d)
 		}
 		if len(diff.Added) > 0 {
-			fmt.Printf("  added: %v\n", diff.Added)
+			fmt.Fprintf(out, "  added: %v\n", diff.Added)
 		}
-		if len(diff.Removed) > 0 {
-			fmt.Printf("  removed: %v\n", diff.Removed)
+		for _, name := range diff.Removed {
+			fmt.Fprintf(out, "  REMOVED %s\n", name)
 		}
-		if !diff.Clean() {
+		switch {
+		case len(diff.Regressions) > 0:
 			return fmt.Errorf("%d regressions against %s", len(diff.Regressions), c.baseline)
+		case !diff.Clean() && !c.allowRemoved:
+			return fmt.Errorf("%d scenarios removed since %s (pass -allow-removed if the matrix shrank on purpose)",
+				len(diff.Removed), c.baseline)
+		case !diff.Clean():
+			fmt.Fprintf(out, "  accepting %d removals (-allow-removed)\n", len(diff.Removed))
 		}
 	}
 	if sum.Failed > 0 {
@@ -203,9 +269,162 @@ func runMatrix(c config) error {
 	return nil
 }
 
+// runMerge folds shard result files (JSONL or JSON) into the canonical
+// sorted-JSON snapshot an unsharded -json run would have produced.
+func runMerge(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("qdcbench merge", flag.ContinueOnError)
+	jsonOut := fs.String("json", "", "write the merged canonical snapshot to this file (default: stdout)")
+	matrix := fs.String("matrix", "", "verify the merged records cover this matrix exactly (name or *.json path)")
+	seed := fs.Int64("seed", 0, "the -seed the shards were run with, so the -matrix check expects the same scenarios (0 = the spec's seed)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	shardFiles := fs.Args()
+	if len(shardFiles) == 0 {
+		return fmt.Errorf("merge needs at least one shard results file (qdcbench merge -json out.json s1.jsonl s2.jsonl)")
+	}
+	sets := make([][]exp.Record, 0, len(shardFiles))
+	for _, path := range shardFiles {
+		recs, err := exp.ReadRecords(path)
+		if err != nil {
+			return err
+		}
+		sets = append(sets, recs)
+	}
+	merged, err := exp.MergeRecords(sets...)
+	if err != nil {
+		return err
+	}
+	if *matrix != "" {
+		m, err := exp.ResolveMatrix(*matrix)
+		if err != nil {
+			return err
+		}
+		if *seed != 0 {
+			m.BaseSeed = *seed
+		}
+		if err := exp.CheckComplete(m, merged); err != nil {
+			return err
+		}
+	}
+	var sink *exp.JSONSink
+	if *jsonOut == "" {
+		sink = exp.NewJSONSink(out)
+	} else {
+		if sink, err = exp.CreateJSON(*jsonOut); err != nil {
+			return err
+		}
+	}
+	for _, r := range merged {
+		if err := sink.Write(r); err != nil {
+			return err
+		}
+	}
+	if err := sink.Close(); err != nil {
+		return err
+	}
+	if *jsonOut != "" {
+		fmt.Fprintf(out, "merged %d records from %d shards into %s\n", len(merged), len(shardFiles), *jsonOut)
+	}
+	return nil
+}
+
+// runTrend prints the per-scenario cost trajectories across a directory of
+// BENCH_*.json snapshots.
+func runTrend(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("qdcbench trend", flag.ContinueOnError)
+	dir := fs.String("dir", ".", "directory holding BENCH_*.json snapshots")
+	changedOnly := fs.Bool("changed", false, "only print scenarios whose rounds or bits moved")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("trend takes no positional arguments (use -dir)")
+	}
+	rep, err := exp.Trend(*dir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "trend over %d snapshots (%s .. %s): %d scenarios\n",
+		len(rep.Snapshots), rep.Snapshots[0], rep.Snapshots[len(rep.Snapshots)-1], len(rep.Scenarios))
+	fmt.Fprintf(out, "  %-44s %7s %7s  %-24s %s\n", "scenario", "first", "last", "rounds", "bits")
+	newest := rep.Snapshots[len(rep.Snapshots)-1]
+	shown := 0
+	for _, s := range rep.Scenarios {
+		if *changedOnly && !s.Changed() && s.Last == newest && len(s.Missing) == 0 {
+			continue
+		}
+		shown++
+		gap := ""
+		if len(s.Missing) > 0 {
+			marks := make([]string, len(s.Missing))
+			for i, label := range s.Missing {
+				marks[i] = snapshotOrdinal(rep.Snapshots, label)
+			}
+			gap = "  GAP at " + strings.Join(marks, ",")
+		}
+		fmt.Fprintf(out, "  %-44s %7s %7s  %-24s %s%s\n",
+			s.Name, snapshotOrdinal(rep.Snapshots, s.First), snapshotOrdinal(rep.Snapshots, s.Last),
+			trajectory(s.Points, func(p exp.TrendPoint) int64 { return int64(p.Rounds) }),
+			trajectory(s.Points, func(p exp.TrendPoint) int64 { return p.Bits }), gap)
+	}
+	if *changedOnly {
+		fmt.Fprintf(out, "  (%d of %d scenarios moved or vanished)\n", shown, len(rep.Scenarios))
+	}
+	if vanished := rep.Vanished(); len(vanished) > 0 {
+		fmt.Fprintf(out, "  VANISHED (absent from %s): %v\n", newest, vanished)
+	}
+	return nil
+}
+
+// snapshotOrdinal renders a snapshot label as its position in the
+// trajectory, e.g. "#1" for the oldest — full file names are listed once in
+// the header line and would swamp the per-scenario table.
+func snapshotOrdinal(snapshots []string, label string) string {
+	for i, s := range snapshots {
+		if s == label {
+			return fmt.Sprintf("#%d", i+1)
+		}
+	}
+	return "?"
+}
+
+// trajectory renders a cost series compactly: a single value with a
+// repetition count when the series never moves ("26 (x3)"), the full
+// arrow-joined series otherwise ("26>30>28"). Failed points are marked "!".
+func trajectory(points []exp.TrendPoint, val func(exp.TrendPoint) int64) string {
+	if len(points) == 0 {
+		return "-"
+	}
+	flat := true
+	anyFailed := false
+	for _, p := range points {
+		if val(p) != val(points[0]) {
+			flat = false
+		}
+		if p.Failed {
+			anyFailed = true
+		}
+	}
+	if flat && !anyFailed {
+		if len(points) == 1 {
+			return fmt.Sprint(val(points[0]))
+		}
+		return fmt.Sprintf("%d (x%d)", val(points[0]), len(points))
+	}
+	parts := make([]string, len(points))
+	for i, p := range points {
+		parts[i] = fmt.Sprint(val(p))
+		if p.Failed {
+			parts[i] += "!"
+		}
+	}
+	return strings.Join(parts, ">")
+}
+
 // printBackendBreakdown rolls the records up into one row per backend so a
 // mixed sweep shows at a glance how each cost model fared.
-func printBackendBreakdown(records []exp.Record) {
+func printBackendBreakdown(out io.Writer, records []exp.Record) {
 	type row struct {
 		scenarios, passed int
 		rounds            int
@@ -229,29 +448,29 @@ func printBackendBreakdown(records []exp.Record) {
 		b.qubits += r.Stats.QuantumBits
 	}
 	sort.Strings(backends)
-	fmt.Printf("  %-12s %9s %7s %12s %14s %14s\n", "backend", "scenarios", "passed", "rounds", "bits", "qubits")
+	fmt.Fprintf(out, "  %-12s %9s %7s %12s %14s %14s\n", "backend", "scenarios", "passed", "rounds", "bits", "qubits")
 	for _, name := range backends {
 		b := rows[name]
-		fmt.Printf("  %-12s %9d %7d %12d %14d %14d\n", name, b.scenarios, b.passed, b.rounds, b.bits, b.qubits)
+		fmt.Fprintf(out, "  %-12s %9d %7d %12d %14d %14d\n", name, b.scenarios, b.passed, b.rounds, b.bits, b.qubits)
 	}
 }
 
 // printCrossover prints the measured Example 1.1 crossover table when the
 // run paired classical and quantum disjointness scenarios.
-func printCrossover(records []exp.Record) {
+func printCrossover(out io.Writer, records []exp.Record) {
 	points := exp.CrossoverReport(records)
 	if len(points) == 0 {
 		return
 	}
-	fmt.Println("  classical vs quantum disjointness (Example 1.1):")
-	fmt.Printf("  %10s %6s %6s %12s %12s %10s %11s %7s\n",
+	fmt.Fprintln(out, "  classical vs quantum disjointness (Example 1.1):")
+	fmt.Fprintf(out, "  %10s %6s %6s %12s %12s %10s %11s %7s\n",
 		"B", "b", "D", "classical", "quantum", "winner", "predicted D*", "agree")
 	for _, p := range points {
 		note := ""
 		if !p.Decisive {
 			note = " (near crossover)"
 		}
-		fmt.Printf("  %10d %6d %6d %12d %12d %10s %11d %7v%s\n",
+		fmt.Fprintf(out, "  %10d %6d %6d %12d %12d %10s %11d %7v%s\n",
 			p.Bandwidth, p.InputBits, p.Distance, p.ClassicalRounds, p.QuantumRounds,
 			p.MeasuredWinner, p.PredictedCrossover, p.Agree, note)
 	}
@@ -260,101 +479,101 @@ func printCrossover(records []exp.Record) {
 		if s.MeasuredCrossover > 0 {
 			measured = fmt.Sprintf("D=%d", s.MeasuredCrossover)
 		}
-		fmt.Printf("  B=%-4d b=%-5d measured crossover %s, predicted D*=%d over %d diameters\n",
+		fmt.Fprintf(out, "  B=%-4d b=%-5d measured crossover %s, predicted D*=%d over %d diameters\n",
 			s.Bandwidth, s.InputBits, measured, s.PredictedCrossover, s.Points)
 	}
 }
 
-func runTables(c config) error {
+func runTables(c config, fs *flag.FlagSet, out io.Writer) error {
 	ran := false
 	if c.all || c.figure == 2 {
 		ran = true
-		if err := printFigure2(c.n, c.bandwidth, c.aspect, c.alpha); err != nil {
+		if err := printFigure2(out, c.n, c.bandwidth, c.aspect, c.alpha); err != nil {
 			return err
 		}
 	}
 	if c.all || c.figure == 3 {
 		ran = true
-		if err := printFigure3(c.n, c.bandwidth, c.alpha); err != nil {
+		if err := printFigure3(out, c.n, c.bandwidth, c.alpha); err != nil {
 			return err
 		}
 	}
 	if c.all || c.example == "1.1" {
 		ran = true
-		if err := printExample11(); err != nil {
+		if err := printExample11(out); err != nil {
 			return err
 		}
 	}
 	if c.all || c.experiment == "server" {
 		ran = true
-		printServerTable(1200)
+		printServerTable(out, 1200)
 	}
 	if c.all || c.experiment == "sim" {
 		ran = true
-		if err := printSimulation(); err != nil {
+		if err := printSimulation(out); err != nil {
 			return err
 		}
 	}
 	if c.all || c.experiment == "verify" {
 		ran = true
-		if err := printVerification(); err != nil {
+		if err := printVerification(out); err != nil {
 			return err
 		}
 	}
 	if c.all || c.experiment == "pipeline" {
 		ran = true
-		if err := printPipeline(); err != nil {
+		if err := printPipeline(out); err != nil {
 			return err
 		}
 	}
 	if !ran {
-		flag.Usage()
-		return fmt.Errorf("nothing to do: pass -matrix, -list, -figure, -example, -experiment or -all")
+		fs.Usage()
+		return fmt.Errorf("nothing to do: pass -matrix, -list, -figure, -example, -experiment, -all, or the merge/trend subcommands")
 	}
 	return nil
 }
 
-func printFigure2(n, bandwidth int, aspect, alpha float64) error {
+func printFigure2(out io.Writer, n, bandwidth int, aspect, alpha float64) error {
 	rows, err := qdc.Figure2Table(n, bandwidth, aspect, alpha)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("Figure 2 — lower bounds at n=%d, B=%d, W=%g, alpha=%g\n", n, bandwidth, aspect, alpha)
-	fmt.Printf("%-46s | %-30s | %14s | %14s\n", "problem", "setting", "previous", "this paper")
+	fmt.Fprintf(out, "Figure 2 — lower bounds at n=%d, B=%d, W=%g, alpha=%g\n", n, bandwidth, aspect, alpha)
+	fmt.Fprintf(out, "%-46s | %-30s | %14s | %14s\n", "problem", "setting", "previous", "this paper")
 	for _, r := range rows {
-		fmt.Printf("%-46s | %-30s | %14.1f | %14.1f\n", r.Problem, r.Setting, r.PreviousValue, r.NewValue)
+		fmt.Fprintf(out, "%-46s | %-30s | %14.1f | %14.1f\n", r.Problem, r.Setting, r.PreviousValue, r.NewValue)
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 	return nil
 }
 
-func printFigure3(n, bandwidth int, alpha float64) error {
+func printFigure3(out io.Writer, n, bandwidth int, alpha float64) error {
 	ws := []float64{2, 16, 128, 1024, 8192, 1 << 16, 1 << 20}
 	pts, err := qdc.Figure3Curve(n, bandwidth, 17, alpha, ws)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("Figure 3 — MST rounds vs aspect ratio W (n=%d, B=%d, alpha=%g)\n", n, bandwidth, alpha)
-	fmt.Printf("%12s %20s %20s\n", "W", "lower bound", "upper bound")
+	fmt.Fprintf(out, "Figure 3 — MST rounds vs aspect ratio W (n=%d, B=%d, alpha=%g)\n", n, bandwidth, alpha)
+	fmt.Fprintf(out, "%12s %20s %20s\n", "W", "lower bound", "upper bound")
 	for _, p := range pts {
-		fmt.Printf("%12.0f %20.1f %20.1f\n", p.W, p.LowerBound, p.UpperBound)
+		fmt.Fprintf(out, "%12.0f %20.1f %20.1f\n", p.W, p.LowerBound, p.UpperBound)
 	}
-	fmt.Println("measured (lower-bound network family, Γ=8, L=17, B=128):")
-	fmt.Printf("%12s %12s %14s %14s %12s\n", "W", "nodes", "exact rounds", "approx rounds", "ratio")
+	fmt.Fprintln(out, "measured (lower-bound network family, Γ=8, L=17, B=128):")
+	fmt.Fprintf(out, "%12s %12s %14s %14s %12s\n", "W", "nodes", "exact rounds", "approx rounds", "ratio")
 	for _, w := range []float64{4, 64, 1024} {
 		res, err := qdc.RunMSTExperiment(8, 17, 128, w, alpha, 1)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%12.0f %12d %14d %14d %12.3f\n", w, res.Nodes, res.ExactRounds, res.ApproxRounds, res.ApproxRatio)
+		fmt.Fprintf(out, "%12.0f %12d %14d %14d %12.3f\n", w, res.Nodes, res.ExactRounds, res.ApproxRounds, res.ApproxRatio)
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 	return nil
 }
 
-func printExample11() error {
-	fmt.Println("Example 1.1 — distributed Set Disjointness, classical vs quantum (b=4096, B=1)")
-	fmt.Printf("%10s %18s %18s %10s %14s\n", "D", "classical rounds", "quantum rounds", "winner", "crossover D*")
+func printExample11(out io.Writer) error {
+	fmt.Fprintln(out, "Example 1.1 — distributed Set Disjointness, classical vs quantum (b=4096, B=1)")
+	fmt.Fprintf(out, "%10s %18s %18s %10s %14s\n", "D", "classical rounds", "quantum rounds", "winner", "crossover D*")
 	for _, d := range []int{2, 8, 32, 128, 512, 2048} {
 		cmp, err := qdc.RunDisjointnessComparison(4096, 1, d, 1)
 		if err != nil {
@@ -364,63 +583,63 @@ func printExample11() error {
 		if cmp.QuantumWins {
 			w = "quantum"
 		}
-		fmt.Printf("%10d %18d %18d %10s %14.0f\n", d, cmp.ClassicalRounds, cmp.QuantumRounds, w, cmp.CrossoverDiameter)
+		fmt.Fprintf(out, "%10d %18d %18d %10s %14.0f\n", d, cmp.ClassicalRounds, cmp.QuantumRounds, w, cmp.CrossoverDiameter)
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 	return nil
 }
 
-func printServerTable(n int) {
-	fmt.Printf("Server-model bounds (Theorems 3.4/6.1, Corollary 3.10) at n=%d\n", n)
-	fmt.Printf("%-40s %16s %16s %s\n", "problem", "lower bound", "trivial cost", "best known upper")
+func printServerTable(out io.Writer, n int) {
+	fmt.Fprintf(out, "Server-model bounds (Theorems 3.4/6.1, Corollary 3.10) at n=%d\n", n)
+	fmt.Fprintf(out, "%-40s %16s %16s %s\n", "problem", "lower bound", "trivial cost", "best known upper")
 	for _, r := range qdc.ServerModelTable(n) {
-		fmt.Printf("%-40s %16.1f %16.1f %s\n", r.Problem, r.LowerBound, r.TrivialCost, r.BestKnownUpper)
+		fmt.Fprintf(out, "%-40s %16.1f %16.1f %s\n", r.Problem, r.LowerBound, r.TrivialCost, r.BestKnownUpper)
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 }
 
-func printSimulation() error {
+func printSimulation(out io.Writer) error {
 	rep, err := qdc.SimulationExperiment(8, 257, 64, 1)
 	if err != nil {
 		return err
 	}
-	fmt.Println("Theorem 3.5 — three-party simulation accounting (Γ=8, L=257, B=64)")
-	fmt.Printf("  rounds:            %d (within L/2-2 budget: %v)\n", rep.Rounds, rep.WithinRoundBudget)
-	fmt.Printf("  Carol bits:        %d\n", rep.CarolBits)
-	fmt.Printf("  David bits:        %d\n", rep.DavidBits)
-	fmt.Printf("  server-model cost: %d\n", rep.ServerModelCost)
-	fmt.Printf("  O(B log L * T):    %d (within bound: %v)\n", rep.TheoremBound, rep.WithinTheoremBound)
-	fmt.Println()
+	fmt.Fprintln(out, "Theorem 3.5 — three-party simulation accounting (Γ=8, L=257, B=64)")
+	fmt.Fprintf(out, "  rounds:            %d (within L/2-2 budget: %v)\n", rep.Rounds, rep.WithinRoundBudget)
+	fmt.Fprintf(out, "  Carol bits:        %d\n", rep.CarolBits)
+	fmt.Fprintf(out, "  David bits:        %d\n", rep.DavidBits)
+	fmt.Fprintf(out, "  server-model cost: %d\n", rep.ServerModelCost)
+	fmt.Fprintf(out, "  O(B log L * T):    %d (within bound: %v)\n", rep.TheoremBound, rep.WithinTheoremBound)
+	fmt.Fprintln(out)
 	return nil
 }
 
-func printVerification() error {
+func printVerification(out io.Writer) error {
 	rows, err := qdc.RunVerificationExperiment(12, 17, 64, 1, 1)
 	if err != nil {
 		return err
 	}
-	fmt.Println("Corollary 3.7 — verification algorithms on the embedded Hamiltonian instance (Γ=12, L=17)")
-	fmt.Printf("%-34s %8s %10s %14s %14s\n", "problem", "answer", "rounds", "lower bound", "upper bound")
+	fmt.Fprintln(out, "Corollary 3.7 — verification algorithms on the embedded Hamiltonian instance (Γ=12, L=17)")
+	fmt.Fprintf(out, "%-34s %8s %10s %14s %14s\n", "problem", "answer", "rounds", "lower bound", "upper bound")
 	for _, r := range rows {
-		fmt.Printf("%-34s %8v %10d %14.1f %14.1f\n", r.Problem, r.Answer, r.Rounds, r.LowerBound, r.UpperBound)
+		fmt.Fprintf(out, "%-34s %8v %10d %14.1f %14.1f\n", r.Problem, r.Answer, r.Rounds, r.LowerBound, r.UpperBound)
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 	return nil
 }
 
-func printPipeline() error {
+func printPipeline(out io.Writer) error {
 	res, err := qdc.RunProofPipeline(4, 64, 1)
 	if err != nil {
 		return err
 	}
-	fmt.Println("Figure 1 — proof pipeline on a random IPmod3 instance (n=4)")
-	fmt.Printf("  IPmod3 value %d, gadget Hamiltonian %v, server bound %.1f bits\n",
+	fmt.Fprintln(out, "Figure 1 — proof pipeline on a random IPmod3 instance (n=4)")
+	fmt.Fprintf(out, "  IPmod3 value %d, gadget Hamiltonian %v, server bound %.1f bits\n",
 		res.IPMod3Value, res.GadgetIsHamiltonian, res.ServerLowerBoundBits)
-	fmt.Printf("  network %d nodes diameter %d, embedding consistent %v\n",
+	fmt.Fprintf(out, "  network %d nodes diameter %d, embedding consistent %v\n",
 		res.NetworkNodes, res.NetworkDiameter, res.EmbeddedMatchesGadget)
-	fmt.Printf("  simulation cost %d bits <= bound %d bits: %v\n",
+	fmt.Fprintf(out, "  simulation cost %d bits <= bound %d bits: %v\n",
 		res.SimulationReport.ServerModelCost, res.SimulationReport.TheoremBound, res.SimulationReport.WithinTheoremBound)
-	fmt.Printf("  distributed lower bound %.1f rounds\n", res.DistributedLowerBound)
-	fmt.Println()
+	fmt.Fprintf(out, "  distributed lower bound %.1f rounds\n", res.DistributedLowerBound)
+	fmt.Fprintln(out)
 	return nil
 }

@@ -63,4 +63,12 @@
 // tables; cmd/qdcbench prints them, bench_test.go measures them, and the
 // examples/ directory demonstrates the API on the paper's headline
 // scenarios.
+//
+// Sweeps beyond the compiled-in registry are driven by the internal/exp
+// harness through the same CLI: qdcbench accepts a JSON matrix spec
+// (examples/matrix.json), runs deterministic disjoint shards of one sweep
+// across processes or machines (-shard i/n), folds the shard outputs back
+// into a canonical snapshot that is byte-identical to an unsharded run
+// (qdcbench merge), and tracks per-scenario cost trajectories across a
+// directory of snapshots (qdcbench trend).
 package qdc

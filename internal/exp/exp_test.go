@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"qdc/internal/lbnetwork"
 )
 
 func TestDefaultMatrixExpansion(t *testing.T) {
@@ -94,6 +96,47 @@ func TestCompatibleRules(t *testing.T) {
 		if got, reason := Compatible(c.topo, c.algorithm, c.backend, c.bandwidth); got != c.want {
 			t.Errorf("%s: Compatible = %v (%s), want %v", c.name, got, reason, c.want)
 		}
+	}
+}
+
+// TestLBSizeUpperBound pins the ID-sizing bound for the lower-bound network
+// against the constructor's real vertex counts: for every spec the bound
+// must dominate lbnetwork.New's N() (so the exact-MST bandwidth check never
+// under-requires, even at large Γ where the old hardcoded estimate fell
+// short), and it must follow the documented Γ·(2L+log L) shape.
+func TestLBSizeUpperBound(t *testing.T) {
+	cases := []struct {
+		gamma, pathLen int
+	}{
+		{2, 3}, {6, 17}, {10, 33}, {6, 0}, // 0 selects the family default of 17
+		{40, 17},  // large Γ: the regime the hardcoded 16 under-required in
+		{40, 18},  // large Γ plus rounding (18 -> 33)
+		{64, 100}, // rounding 100 -> 129 at scale
+		{33, 5},
+	}
+	for _, c := range cases {
+		spec := TopologySpec{Family: FamilyLBNet, Size: c.gamma, Param: float64(c.pathLen)}
+		bound := lbSizeUpperBound(spec)
+		pathLen := c.pathLen
+		if pathLen <= 0 {
+			pathLen = 17
+		}
+		nw, err := lbnetwork.New(c.gamma, pathLen)
+		if err != nil {
+			t.Fatalf("Γ=%d L=%d: %v", c.gamma, pathLen, err)
+		}
+		if bound < nw.N() {
+			t.Errorf("Γ=%d L=%d: bound %d is below the realised vertex count %d",
+				c.gamma, pathLen, bound, nw.N())
+		}
+		if want := c.gamma * (2*nw.L + nw.K); bound != want {
+			t.Errorf("Γ=%d L=%d: bound %d, want the documented Γ·(2L+log L) = %d",
+				c.gamma, pathLen, bound, want)
+		}
+	}
+	// Plain families keep the nominal size.
+	if got := lbSizeUpperBound(TopologySpec{Family: FamilyPath, Size: 9}); got != 9 {
+		t.Errorf("non-lbnet bound = %d, want the nominal size", got)
 	}
 }
 

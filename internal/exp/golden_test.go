@@ -236,8 +236,13 @@ func TestCompareEdgeCases(t *testing.T) {
 	})
 	t.Run("empty new snapshot", func(t *testing.T) {
 		diff := Compare(recs[:2], nil)
-		if !diff.Clean() {
-			t.Errorf("everything-removed diff must be clean, got %+v", diff.Regressions)
+		// Losing every scenario is the extreme form of the removal blind
+		// spot: it must not pass the gate, only the explicit escape hatch.
+		if diff.Clean() {
+			t.Error("everything-removed diff must not be clean")
+		}
+		if !diff.CleanExceptRemoved() {
+			t.Errorf("everything-removed diff has no cost regressions, got %+v", diff.Regressions)
 		}
 		if len(diff.Removed) != 2 || len(diff.Added) != 0 {
 			t.Errorf("added=%v removed=%v, want 2 removed", diff.Added, diff.Removed)

@@ -1,0 +1,149 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// validMatrixJSON is a minimal well-formed spec the error cases perturb.
+const validMatrixJSON = `{
+  "name": "filetest",
+  "topologies": [{"family": "path", "size": 9}],
+  "bandwidths": [32],
+  "backends": ["local"],
+  "algorithms": ["verify"],
+  "base_seed": 3
+}`
+
+func writeSpec(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadMatrix(t *testing.T) {
+	m, err := LoadMatrix(writeSpec(t, "m.json", validMatrixJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "filetest" || m.BaseSeed != 3 {
+		t.Errorf("loaded %+v", m)
+	}
+	scenarios := m.Expand()
+	if len(scenarios) != 1 || scenarios[0].Name != "path9/verify/local/B32" {
+		t.Errorf("expansion: %+v", scenarios)
+	}
+	// The derived seed must match an identical compiled-in matrix: a file
+	// spec is a definition, not a different sweep.
+	if want := DeriveSeed(3, "path9/verify/local/B32"); scenarios[0].Seed != want {
+		t.Errorf("seed %d, want %d", scenarios[0].Seed, want)
+	}
+}
+
+func TestLoadMatrixNameDefaultsToFileBase(t *testing.T) {
+	spec := strings.Replace(validMatrixJSON, `"name": "filetest",`, "", 1)
+	m, err := LoadMatrix(writeSpec(t, "nightly-sweep.json", spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "nightly-sweep" {
+		t.Errorf("name %q, want the file base name", m.Name)
+	}
+}
+
+func TestLoadMatrixErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(string) string
+		wantErr string
+	}{
+		{"unknown field", func(s string) string {
+			return strings.Replace(s, `"base_seed"`, `"base_sed"`, 1)
+		}, "base_sed"},
+		{"unknown family", func(s string) string {
+			return strings.Replace(s, `"path"`, `"moebius"`, 1)
+		}, "unknown topology family"},
+		{"unknown backend", func(s string) string {
+			return strings.Replace(s, `"local"`, `"telepathy"`, 1)
+		}, "unknown backend"},
+		{"unknown algorithm", func(s string) string {
+			return strings.Replace(s, `"verify"`, `"sorting"`, 1)
+		}, "unknown algorithm"},
+		{"empty topologies", func(s string) string {
+			return strings.Replace(s, `[{"family": "path", "size": 9}]`, `[]`, 1)
+		}, "no topologies"},
+		{"empty bandwidths", func(s string) string {
+			return strings.Replace(s, `[32]`, `[]`, 1)
+		}, "no bandwidths"},
+		{"empty backends", func(s string) string {
+			return strings.Replace(s, `["local"]`, `[]`, 1)
+		}, "no backends"},
+		{"empty algorithms", func(s string) string {
+			return strings.Replace(s, `["verify"]`, `[]`, 1)
+		}, "no algorithms"},
+		{"undersized topology", func(s string) string {
+			return strings.Replace(s, `"size": 9`, `"size": 1`, 1)
+		}, "size >= 2"},
+		{"non-positive bandwidth", func(s string) string {
+			return strings.Replace(s, `[32]`, `[0]`, 1)
+		}, "not positive"},
+		{"duplicate backend", func(s string) string {
+			return strings.Replace(s, `["local"]`, `["local", "local"]`, 1)
+		}, "duplicate backend"},
+		{"empty expansion", func(s string) string {
+			// Simulation needs lbnet, so a path-only matrix with only the
+			// simulation backend has zero runnable cells.
+			return strings.Replace(s, `["local"]`, `["simulation"]`, 1)
+		}, "zero scenarios"},
+		{"not JSON", func(string) string { return "topologies: [path]\n" }, "invalid character"},
+		{"trailing data", func(s string) string { return s + "\n{}" }, "trailing data"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := LoadMatrix(writeSpec(t, "m.json", c.mutate(validMatrixJSON)))
+			if err == nil {
+				t.Fatal("LoadMatrix accepted a bad spec")
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+
+	if _, err := LoadMatrix(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("LoadMatrix accepted a missing file")
+	}
+}
+
+// TestRegisteredMatricesValidate holds the compiled-in registry to the same
+// rules as file specs, so the vocabularies cannot drift apart.
+func TestRegisteredMatricesValidate(t *testing.T) {
+	for _, name := range MatrixNames() {
+		m, _ := LookupMatrix(name)
+		if err := m.Validate(); err != nil {
+			t.Errorf("registered matrix %q fails validation: %v", name, err)
+		}
+	}
+}
+
+func TestResolveMatrix(t *testing.T) {
+	if m, err := ResolveMatrix("quick"); err != nil || m.Name != "quick" {
+		t.Errorf("registry name: %v, %v", m.Name, err)
+	}
+	path := writeSpec(t, "sweep.json", validMatrixJSON)
+	if m, err := ResolveMatrix(path); err != nil || m.Name != "filetest" {
+		t.Errorf("file path: %v, %v", m.Name, err)
+	}
+	_, err := ResolveMatrix("no-such-matrix")
+	if err == nil || !strings.Contains(err.Error(), "quick") {
+		t.Errorf("unknown name must list the registry, got %v", err)
+	}
+	if _, err := ResolveMatrix("no-such-file.json"); err == nil {
+		t.Error("a .json argument must resolve as a file, and a missing file must error")
+	}
+}

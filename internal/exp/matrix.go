@@ -6,6 +6,7 @@ import (
 
 	"qdc/internal/congest"
 	"qdc/internal/dist/engine"
+	"qdc/internal/lbnetwork"
 )
 
 // Matrix is a declarative sweep spec: the cross product of its axes, minus
@@ -65,8 +66,12 @@ func Compatible(t TopologySpec, algorithm, backend string, bandwidth int) (bool,
 }
 
 // lbSizeUpperBound returns a vertex-count upper bound for ID sizing: the
-// nominal size for plain families, and a generous Γ·(2L+log L) estimate for
-// the lower-bound network (its exact size depends on the highway rounding).
+// nominal size for plain families, and Γ·(2L+log L) for the lower-bound
+// network, computed from the spec's Γ (= Size) and the rounded path length
+// the constructor actually uses. The realised network has Γ·L path vertices
+// plus at most L+log L highway vertices, so Γ·(2L+log L) dominates it for
+// every Γ >= 2 that lbnetwork.New accepts; TestLBSizeUpperBound pins the
+// bound against the constructor's real vertex counts.
 func lbSizeUpperBound(t TopologySpec) int {
 	if t.Family != FamilyLBNet {
 		return t.Size
@@ -75,7 +80,8 @@ func lbSizeUpperBound(t TopologySpec) int {
 	if pathLen <= 0 {
 		pathLen = 17
 	}
-	return t.Size*pathLen + 16*(2*pathLen+16)
+	l, k := lbnetwork.RoundedDims(pathLen)
+	return t.Size * (2*l + k)
 }
 
 // Expand returns the concrete scenarios of the matrix in a deterministic

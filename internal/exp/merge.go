@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MergeRecords folds the record sets of several shard runs into one set
+// sorted by scenario name. A scenario name appearing twice is an error:
+// shards of the same matrix are disjoint by construction, so a duplicate
+// means the inputs were not shards of one expansion (the same file twice,
+// overlapping specs) and silently keeping either copy would corrupt the
+// snapshot. Writing the merged set through a JSONSink yields bytes
+// identical to an unsharded -json run of the same matrix — the invariant
+// that makes multi-process fan-out trustworthy, pinned by
+// TestMergeMatchesUnsharded and the sharded CI job.
+func MergeRecords(sets ...[]Record) ([]Record, error) {
+	var out []Record
+	from := make(map[string]int) // scenario name -> 1-based set index
+	for i, set := range sets {
+		for _, r := range set {
+			if prev, dup := from[r.Scenario.Name]; dup {
+				return nil, fmt.Errorf("exp: scenario %q appears in both shard %d and shard %d",
+					r.Scenario.Name, prev, i+1)
+			}
+			from[r.Scenario.Name] = i + 1
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Scenario.Name < out[j].Scenario.Name })
+	return out, nil
+}
+
+// CheckComplete verifies that the records cover the matrix expansion
+// exactly: every expanded scenario has a record, no record names a scenario
+// outside the expansion, and each record's embedded Scenario matches the
+// expanded one field for field — a record whose name matches but whose seed
+// (or any other knob) differs came from a different sweep (e.g. shards run
+// with inconsistent -seed) and would corrupt the snapshot just as silently
+// as a missing one. It is the merge-time guard against crashed, forgotten
+// or mismatched shards.
+func CheckComplete(m Matrix, recs []Record) error {
+	want := make(map[string]Scenario)
+	for _, s := range m.Expand() {
+		want[s.Name] = s
+	}
+	got := make(map[string]bool, len(recs))
+	var mismatched []string
+	for _, r := range recs {
+		got[r.Scenario.Name] = true
+		if w, ok := want[r.Scenario.Name]; ok && r.Scenario != w {
+			mismatched = append(mismatched, r.Scenario.Name)
+		}
+	}
+	var missing, unexpected []string
+	for name := range want {
+		if !got[name] {
+			missing = append(missing, name)
+		}
+	}
+	for name := range got {
+		if _, ok := want[name]; !ok {
+			unexpected = append(unexpected, name)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(unexpected)
+	sort.Strings(mismatched)
+	if len(mismatched) > 0 {
+		return fmt.Errorf("exp: merged records do not match matrix %q: %d scenarios differ from the expansion (same name, different spec — were the shards run with different -seed?): %v",
+			m.Name, len(mismatched), mismatched)
+	}
+	if len(missing) > 0 || len(unexpected) > 0 {
+		return fmt.Errorf("exp: merged records do not cover matrix %q: %d missing %v, %d unexpected %v",
+			m.Name, len(missing), missing, len(unexpected), unexpected)
+	}
+	return nil
+}

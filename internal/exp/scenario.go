@@ -6,15 +6,25 @@
 //
 //   - a scenario registry: named Scenario values (topology family ×
 //     algorithm × backend × bandwidth × deterministic seed) and Matrix
-//     specs that expand into hundreds of concrete runs (see matrix.go);
+//     specs that expand into hundreds of concrete runs (see matrix.go) —
+//     compiled into the registry or loaded from strictly validated JSON
+//     files (LoadMatrix, see load.go);
 //   - a worker-pool executor that runs scenarios concurrently across
 //     shards with per-run timeouts and panic isolation (see pool.go);
-//   - a results pipeline: Record rows streamed to JSONL/JSON sinks and a
-//     Compare regression diff between two result sets (see sink.go).
+//     Matrix.Shard additionally slices one expansion into deterministic,
+//     disjoint pieces for multi-process or multi-machine fan-out (see
+//     shard.go), and MergeRecords folds the shard outputs back into the
+//     canonical snapshot an unsharded run would have produced, byte for
+//     byte (see merge.go);
+//   - a results pipeline: Record rows streamed to JSONL/JSON sinks, a
+//     Compare regression diff between two result sets (see sink.go), and a
+//     Trend view over a directory of snapshots that tracks per-scenario
+//     cost trajectories across many PRs (see trend.go).
 //
 // cmd/qdcbench drives the harness from the command line
-// (-matrix/-workers/-json), which is how BENCH_*.json snapshots are
-// produced and compared across commits.
+// (-matrix/-shard/-workers/-json plus the merge and trend subcommands),
+// which is how BENCH_*.json snapshots are produced, merged and compared
+// across commits.
 package exp
 
 import (

@@ -1,0 +1,53 @@
+package exp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Shard returns the i-th of n slices of the matrix expansion (i is 1-based,
+// matching the -shard i/n syntax). The partition is deterministic — it
+// depends only on the matrix, never on the host — disjoint, and covering:
+// scenario j of Expand goes to shard (j mod n)+1, so the union of all n
+// shards is exactly the unsharded expansion and two processes given the
+// same spec never run the same scenario twice. Round-robin (rather than
+// contiguous blocks) spreads the expensive topologies of an ordered
+// expansion across shards, so shard wall times stay comparable.
+func (m Matrix) Shard(i, n int) ([]Scenario, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("exp: shard count %d is not positive", n)
+	}
+	if i < 1 || i > n {
+		return nil, fmt.Errorf("exp: shard index %d outside 1..%d", i, n)
+	}
+	all := m.Expand()
+	var out []Scenario
+	for j, s := range all {
+		if j%n == i-1 {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// ParseShard parses the -shard argument "i/n" into its index and count,
+// validating 1 <= i <= n.
+func ParseShard(spec string) (i, n int, err error) {
+	idx, cnt, ok := strings.Cut(spec, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("exp: shard spec %q is not of the form i/n", spec)
+	}
+	i, err = strconv.Atoi(idx)
+	if err != nil {
+		return 0, 0, fmt.Errorf("exp: shard index %q is not an integer", idx)
+	}
+	n, err = strconv.Atoi(cnt)
+	if err != nil {
+		return 0, 0, fmt.Errorf("exp: shard count %q is not an integer", cnt)
+	}
+	if n < 1 || i < 1 || i > n {
+		return 0, 0, fmt.Errorf("exp: shard %d/%d outside 1..n", i, n)
+	}
+	return i, n, nil
+}

@@ -1,0 +1,171 @@
+package exp
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// shardTestMatrix is small enough to execute for real in the byte-identity
+// test below, but expands to enough scenarios (8) to exercise uneven splits.
+var shardTestMatrix = Matrix{
+	Name: "shardtest",
+	Topologies: []TopologySpec{
+		{Family: FamilyPath, Size: 5},
+		{Family: FamilyCycle, Size: 4},
+	},
+	Bandwidths: []int{16, 32},
+	Backends:   []string{BackendLocal},
+	Algorithms: []string{AlgVerify, AlgMSTApprox},
+	BaseSeed:   11,
+}
+
+func TestShardDisjointCover(t *testing.T) {
+	m := shardTestMatrix
+	all := m.Expand()
+	for _, n := range []int{1, 2, 3, len(all), len(all) + 3} {
+		seen := make(map[string]int)
+		total := 0
+		for i := 1; i <= n; i++ {
+			shard, err := m.Shard(i, n)
+			if err != nil {
+				t.Fatalf("Shard(%d,%d): %v", i, n, err)
+			}
+			again, err := m.Shard(i, n)
+			if err != nil || !reflect.DeepEqual(shard, again) {
+				t.Fatalf("Shard(%d,%d) is not deterministic", i, n)
+			}
+			total += len(shard)
+			for _, s := range shard {
+				seen[s.Name]++
+			}
+		}
+		if total != len(all) {
+			t.Errorf("n=%d: shards hold %d scenarios, expansion has %d", n, total, len(all))
+		}
+		for _, s := range all {
+			if seen[s.Name] != 1 {
+				t.Errorf("n=%d: scenario %q appears in %d shards, want exactly 1", n, s.Name, seen[s.Name])
+			}
+		}
+	}
+}
+
+func TestShardBounds(t *testing.T) {
+	m := shardTestMatrix
+	for _, c := range [][2]int{{0, 2}, {3, 2}, {1, 0}, {-1, -1}} {
+		if _, err := m.Shard(c[0], c[1]); err == nil {
+			t.Errorf("Shard(%d,%d) accepted an out-of-range slice", c[0], c[1])
+		}
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	if i, n, err := ParseShard("2/4"); err != nil || i != 2 || n != 4 {
+		t.Errorf("ParseShard(2/4) = %d, %d, %v", i, n, err)
+	}
+	for _, bad := range []string{"", "2", "2/", "/4", "0/4", "5/4", "a/4", "2/b", "2/4/6", "-1/4"} {
+		if _, _, err := ParseShard(bad); err == nil {
+			t.Errorf("ParseShard(%q) accepted a malformed spec", bad)
+		}
+	}
+}
+
+func TestMergeRecordsRejectsDuplicates(t *testing.T) {
+	a := Record{Scenario: Scenario{Name: "x"}}
+	b := Record{Scenario: Scenario{Name: "y"}}
+	if _, err := MergeRecords([]Record{a, b}, []Record{a}); err == nil {
+		t.Fatal("a scenario present in two shards must fail the merge")
+	} else if !strings.Contains(err.Error(), `"x"`) {
+		t.Errorf("duplicate error does not name the scenario: %v", err)
+	}
+	merged, err := MergeRecords([]Record{b}, []Record{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 2 || merged[0].Scenario.Name != "x" || merged[1].Scenario.Name != "y" {
+		t.Errorf("merged set not sorted by name: %+v", merged)
+	}
+}
+
+func TestCheckComplete(t *testing.T) {
+	m := shardTestMatrix
+	var recs []Record
+	for _, s := range m.Expand() {
+		recs = append(recs, Record{Scenario: s})
+	}
+	if err := CheckComplete(m, recs); err != nil {
+		t.Errorf("full cover reported incomplete: %v", err)
+	}
+	if err := CheckComplete(m, recs[1:]); err == nil {
+		t.Error("a missing scenario must fail the completeness check")
+	} else if !strings.Contains(err.Error(), recs[0].Scenario.Name) {
+		t.Errorf("incompleteness error does not name the missing scenario: %v", err)
+	}
+	extra := append(append([]Record{}, recs...), Record{Scenario: Scenario{Name: "stray"}})
+	if err := CheckComplete(m, extra); err == nil || !strings.Contains(err.Error(), "stray") {
+		t.Errorf("an unexpected scenario must fail the completeness check, got %v", err)
+	}
+	// A record with the right name but a different embedded spec (e.g. a
+	// shard run with another -seed) must fail too, or mixed-seed shards
+	// would merge into a silently inconsistent snapshot.
+	mixed := append([]Record{}, recs...)
+	mixed[0].Scenario.Seed++
+	if err := CheckComplete(m, mixed); err == nil || !strings.Contains(err.Error(), "different spec") {
+		t.Errorf("a same-name different-spec record must fail the completeness check, got %v", err)
+	}
+}
+
+// TestMergeMatchesUnsharded is the scale-out invariant: executing the matrix
+// as n separate shards and merging the results must reproduce, byte for
+// byte, the canonical JSON snapshot of one unsharded run. The sharded CI
+// job enforces the same property through the qdcbench CLI.
+func TestMergeMatchesUnsharded(t *testing.T) {
+	m := shardTestMatrix
+
+	var unsharded bytes.Buffer
+	sink := NewJSONSink(&unsharded)
+	if _, err := Execute(m.Expand(), ExecOptions{Workers: 2}, sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, n := range []int{2, 3} {
+		var sets [][]Record
+		for i := 1; i <= n; i++ {
+			shard, err := m.Shard(i, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			collect := &Collect{}
+			if _, err := Execute(shard, ExecOptions{Workers: 2}, collect); err != nil {
+				t.Fatal(err)
+			}
+			sets = append(sets, collect.Records)
+		}
+		merged, err := MergeRecords(sets...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckComplete(m, merged); err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		mergeSink := NewJSONSink(&got)
+		for _, r := range merged {
+			if err := mergeSink.Write(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := mergeSink.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), unsharded.Bytes()) {
+			t.Errorf("n=%d: merged snapshot differs from the unsharded run:\n%s\nvs\n%s",
+				n, got.Bytes(), unsharded.Bytes())
+		}
+	}
+}

@@ -65,20 +65,27 @@ func (s *JSONLSink) Write(r Record) error {
 	return s.w.WriteByte('\n')
 }
 
-// Close implements Sink.
+// Close implements Sink. The underlying file is closed even when the flush
+// fails, so an encoding error never leaks the descriptor; the first error
+// wins.
 func (s *JSONLSink) Close() error {
-	if err := s.w.Flush(); err != nil {
-		return err
-	}
+	err := s.w.Flush()
 	if s.closer != nil {
-		return s.closer.Close()
+		if cerr := s.closer.Close(); err == nil {
+			err = cerr
+		}
 	}
-	return nil
+	return err
 }
 
-// JSONSink buffers every record and writes a single sorted JSON array on
-// Close, so the file content is deterministic for a deterministic matrix
-// regardless of completion order — the format BENCH_*.json snapshots use.
+// JSONSink buffers every record and writes a single canonical JSON array on
+// Close: records sorted by scenario name and WallMillis zeroed, so the file
+// bytes are a pure function of the records' deterministic fields regardless
+// of completion order, host speed, or how many processes produced them.
+// This is the format BENCH_*.json snapshots use, and the canonicalisation is
+// what makes a merged sharded run byte-identical to an unsharded one
+// (per-run wall times remain available in the JSONL stream and the printed
+// summary).
 type JSONSink struct {
 	w       io.Writer
 	closer  io.Closer
@@ -103,18 +110,29 @@ func (s *JSONSink) Write(r Record) error {
 	return nil
 }
 
-// Close implements Sink.
+// Close implements Sink. The underlying file is closed even when the encode
+// fails, so an encoding error never leaks the descriptor; the first error
+// wins.
 func (s *JSONSink) Close() error {
+	if s.records == nil {
+		// An empty snapshot (e.g. a shard wider than the expansion) must be
+		// an empty array, not JSON null — ReadRecords would misparse null as
+		// a JSONL stream holding one zero record.
+		s.records = []Record{}
+	}
 	sort.Slice(s.records, func(i, j int) bool { return s.records[i].Scenario.Name < s.records[j].Scenario.Name })
+	for i := range s.records {
+		s.records[i].WallMillis = 0
+	}
 	enc := json.NewEncoder(s.w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(s.records); err != nil {
-		return err
-	}
+	err := enc.Encode(s.records)
 	if s.closer != nil {
-		return s.closer.Close()
+		if cerr := s.closer.Close(); err == nil {
+			err = cerr
+		}
 	}
-	return nil
+	return err
 }
 
 // ReadRecords loads a results file written by either sink: a JSON array or
@@ -170,8 +188,18 @@ type Diff struct {
 	Removed []string `json:"removed,omitempty"`
 }
 
-// Clean reports whether the diff contains no regressions.
-func (d Diff) Clean() bool { return len(d.Regressions) == 0 }
+// Clean reports whether the diff contains no regressions and no removals.
+// A scenario missing from the new snapshot counts as a regression: a
+// shrunken matrix, a crashed shard, or a merge that lost records would
+// otherwise sail through a baseline gate that only watched costs grow.
+// Callers that intend the shrink (a deliberate matrix edit) can accept a
+// removal-only diff via CleanExceptRemoved.
+func (d Diff) Clean() bool { return len(d.Regressions) == 0 && len(d.Removed) == 0 }
+
+// CleanExceptRemoved reports whether the diff is clean apart from removed
+// scenarios — the escape hatch for intentional matrix shrinks (qdcbench
+// -allow-removed).
+func (d Diff) CleanExceptRemoved() bool { return len(d.Regressions) == 0 }
 
 // Compare matches records by scenario name and reports how the new results
 // moved relative to the old ones. Because every scenario is deterministic

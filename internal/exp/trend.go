@@ -1,0 +1,137 @@
+package exp
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+)
+
+// TrendPoint is one scenario's measurement in one snapshot.
+type TrendPoint struct {
+	// Snapshot is the base name of the BENCH_*.json file the point came from.
+	Snapshot string `json:"snapshot"`
+	Rounds   int    `json:"rounds"`
+	Bits     int64  `json:"bits"`
+	// Failed marks a point whose record carried an error or a wrong verdict;
+	// its costs are shown but should not be read as a measurement.
+	Failed bool `json:"failed,omitempty"`
+}
+
+// ScenarioTrend is one scenario's trajectory across a directory of
+// snapshots: the points of every snapshot it appears in, in snapshot order.
+type ScenarioTrend struct {
+	Name string `json:"name"`
+	// First and Last are the snapshots the scenario first appeared in and
+	// was last seen in. Last older than the newest snapshot means the
+	// scenario vanished — exactly the blind spot a two-snapshot Compare gate
+	// has when only one side is inspected.
+	First  string       `json:"first"`
+	Last   string       `json:"last"`
+	Points []TrendPoint `json:"points"`
+	// Missing lists the snapshots between First and Last the scenario was
+	// absent from: a transient disappearance (a bad merge later reverted, a
+	// temporarily shrunken matrix) that a first/last comparison alone would
+	// splice over as a continuous trajectory.
+	Missing []string `json:"missing,omitempty"`
+}
+
+// Changed reports whether the scenario's rounds or bits moved at any step
+// of its trajectory.
+func (s ScenarioTrend) Changed() bool {
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i].Rounds != s.Points[i-1].Rounds || s.Points[i].Bits != s.Points[i-1].Bits {
+			return true
+		}
+	}
+	return false
+}
+
+// TrendReport is the result of Trend: every scenario ever seen in the
+// directory's snapshots, with its cost trajectory.
+type TrendReport struct {
+	// Snapshots are the base names of the snapshot files, in the
+	// lexicographic order the trajectories use.
+	Snapshots []string        `json:"snapshots"`
+	Scenarios []ScenarioTrend `json:"scenarios"`
+}
+
+// Vanished returns the names of scenarios absent from the newest snapshot,
+// sorted.
+func (r TrendReport) Vanished() []string {
+	if len(r.Snapshots) == 0 {
+		return nil
+	}
+	newest := r.Snapshots[len(r.Snapshots)-1]
+	var out []string
+	for _, s := range r.Scenarios {
+		if s.Last != newest {
+			out = append(out, s.Name)
+		}
+	}
+	return out
+}
+
+// Trend reads every BENCH_*.json snapshot in dir (in lexicographic file
+// order, so date- or sequence-stamped names line up chronologically),
+// matches records across snapshots by scenario name, and returns the
+// per-scenario rounds/bits trajectories. Where Compare answers "did this PR
+// regress against the baseline", Trend answers "how did every scenario move
+// across the last N snapshots, and which ones quietly disappeared".
+func Trend(dir string) (TrendReport, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return TrendReport{}, fmt.Errorf("exp: %w", err)
+	}
+	if len(paths) == 0 {
+		return TrendReport{}, fmt.Errorf("exp: no BENCH_*.json snapshots in %s", dir)
+	}
+	sort.Strings(paths)
+
+	var report TrendReport
+	byName := make(map[string]*ScenarioTrend)
+	for _, path := range paths {
+		recs, err := ReadRecords(path)
+		if err != nil {
+			return TrendReport{}, err
+		}
+		label := filepath.Base(path)
+		report.Snapshots = append(report.Snapshots, label)
+		for _, r := range recs {
+			st := byName[r.Scenario.Name]
+			if st == nil {
+				st = &ScenarioTrend{Name: r.Scenario.Name, First: label}
+				byName[r.Scenario.Name] = st
+			}
+			st.Last = label
+			st.Points = append(st.Points, TrendPoint{
+				Snapshot: label,
+				Rounds:   r.Stats.Rounds,
+				Bits:     r.Stats.Bits,
+				Failed:   r.Failed(),
+			})
+		}
+	}
+	for _, st := range byName {
+		present := make(map[string]bool, len(st.Points))
+		for _, p := range st.Points {
+			present[p.Snapshot] = true
+		}
+		inRange := false
+		for _, label := range report.Snapshots {
+			if label == st.First {
+				inRange = true
+			}
+			if inRange && !present[label] {
+				st.Missing = append(st.Missing, label)
+			}
+			if label == st.Last {
+				break
+			}
+		}
+		report.Scenarios = append(report.Scenarios, *st)
+	}
+	sort.Slice(report.Scenarios, func(i, j int) bool {
+		return report.Scenarios[i].Name < report.Scenarios[j].Name
+	})
+	return report, nil
+}

@@ -1,0 +1,120 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"qdc/internal/dist/engine"
+)
+
+// writeSnapshot writes records as a canonical JSON snapshot file.
+func writeSnapshot(t *testing.T, path string, recs []Record) {
+	t.Helper()
+	sink, err := CreateJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := sink.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func trendRecord(name string, rounds int, bits int64, ok bool) Record {
+	return Record{
+		Scenario: Scenario{Name: name},
+		Stats:    engine.Stats{Rounds: rounds, Bits: bits},
+		OK:       ok,
+	}
+}
+
+func TestTrend(t *testing.T) {
+	dir := t.TempDir()
+	writeSnapshot(t, filepath.Join(dir, "BENCH_001.json"), []Record{
+		trendRecord("steady", 10, 100, true),
+		trendRecord("drifts", 10, 100, true),
+		trendRecord("vanishes", 7, 70, true),
+		trendRecord("blinks", 5, 50, true),
+	})
+	writeSnapshot(t, filepath.Join(dir, "BENCH_002.json"), []Record{
+		trendRecord("steady", 10, 100, true),
+		trendRecord("drifts", 12, 90, true),
+		trendRecord("vanishes", 7, 70, true),
+	})
+	writeSnapshot(t, filepath.Join(dir, "BENCH_003.json"), []Record{
+		trendRecord("steady", 10, 100, true),
+		trendRecord("drifts", 14, 80, false),
+		trendRecord("appears", 1, 1, true),
+		trendRecord("blinks", 5, 50, true),
+	})
+	// Files that are not BENCH_*.json snapshots must be ignored.
+	if err := os.WriteFile(filepath.Join(dir, "notes.json"), []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Trend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"BENCH_001.json", "BENCH_002.json", "BENCH_003.json"}; !reflect.DeepEqual(rep.Snapshots, want) {
+		t.Fatalf("snapshots %v, want %v", rep.Snapshots, want)
+	}
+	byName := make(map[string]ScenarioTrend)
+	for _, s := range rep.Scenarios {
+		byName[s.Name] = s
+	}
+	if len(byName) != 5 {
+		t.Fatalf("got %d scenarios: %+v", len(byName), rep.Scenarios)
+	}
+
+	steady := byName["steady"]
+	if steady.First != "BENCH_001.json" || steady.Last != "BENCH_003.json" || steady.Changed() {
+		t.Errorf("steady: %+v", steady)
+	}
+	if len(steady.Missing) != 0 {
+		t.Errorf("steady has no gaps, got %v", steady.Missing)
+	}
+	// A scenario absent from an intermediate snapshot but back in a later
+	// one must surface the gap, not splice over it.
+	blinks := byName["blinks"]
+	if !reflect.DeepEqual(blinks.Missing, []string{"BENCH_002.json"}) || blinks.Changed() {
+		t.Errorf("blinks: Missing=%v Changed=%v, want the BENCH_002 gap flagged", blinks.Missing, blinks.Changed())
+	}
+	drifts := byName["drifts"]
+	if !drifts.Changed() || len(drifts.Points) != 3 {
+		t.Fatalf("drifts: %+v", drifts)
+	}
+	if got := drifts.Points[2]; got.Rounds != 14 || got.Bits != 80 || !got.Failed {
+		t.Errorf("drifts final point: %+v", got)
+	}
+	appears := byName["appears"]
+	if appears.First != "BENCH_003.json" || len(appears.Points) != 1 {
+		t.Errorf("appears: %+v", appears)
+	}
+	vanishes := byName["vanishes"]
+	if vanishes.Last != "BENCH_002.json" {
+		t.Errorf("vanishes last seen %q", vanishes.Last)
+	}
+	if got := rep.Vanished(); !reflect.DeepEqual(got, []string{"vanishes"}) {
+		t.Errorf("Vanished() = %v", got)
+	}
+}
+
+func TestTrendErrors(t *testing.T) {
+	if _, err := Trend(t.TempDir()); err == nil {
+		t.Error("a directory without snapshots must be an explicit error")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_bad.json"), []byte("[{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Trend(dir); err == nil {
+		t.Error("a corrupt snapshot must be an explicit error")
+	}
+}

@@ -59,14 +59,24 @@ func roundUpPathLength(l int) int {
 	return p + 1
 }
 
+// RoundedDims returns the path length L and highway count K that
+// New(gamma, pathLen) will realise: pathLen rounded up so that L−1 is a
+// power of two (and L >= 3), and K = log₂(L−1). Callers that need to size
+// resources for a network before (or without) building it — e.g. the
+// experiment harness's ID-width bound — must use this instead of
+// re-deriving the rounding rule.
+func RoundedDims(pathLen int) (l, k int) {
+	l = roundUpPathLength(pathLen)
+	return l, int(math.Round(math.Log2(float64(l - 1))))
+}
+
 // New builds the network with gamma paths of pathLen vertices each (pathLen
 // is rounded up so that pathLen−1 is a power of two, as in Appendix D.1).
 func New(gamma, pathLen int) (*Network, error) {
 	if gamma < 2 {
 		return nil, fmt.Errorf("%w: need at least 2 paths, got %d", ErrBadParams, gamma)
 	}
-	l := roundUpPathLength(pathLen)
-	k := int(math.Round(math.Log2(float64(l - 1))))
+	l, k := RoundedDims(pathLen)
 
 	nw := &Network{Gamma: gamma, L: l, K: k}
 	g := graph.New(0)

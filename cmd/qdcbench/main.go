@@ -39,6 +39,13 @@
 //	qdcbench merge -matrix quick -json merged.json s1.jsonl s2.jsonl
 //	qdcbench trend -dir snapshots/
 //
+// The roundbench subcommand runs the deterministic round-loop benchmark
+// matrix (the flood workloads of internal/congest's BenchmarkRoundLoop*),
+// prints the measured node-rounds/sec, and folds the records into a
+// snapshot so the trend view tracks the simulator hot path across PRs:
+//
+//	qdcbench roundbench -append bench-smoke.json
+//
 // Table mode regenerates the paper's tables and figures as text: the
 // Figure 2 bounds table, the Figure 3 MST curves, the server-model hardness
 // table of Theorems 3.4/6.1, the Theorem 3.5 simulation accounting, and the
@@ -108,6 +115,8 @@ func run(args []string, out io.Writer) error {
 			return runMerge(args[1:], out)
 		case "trend":
 			return runTrend(args[1:], out)
+		case "roundbench":
+			return runRoundBench(args[1:], out)
 		}
 	}
 
@@ -265,6 +274,78 @@ func runMatrix(c config, out io.Writer) error {
 	}
 	if sum.Failed > 0 {
 		return fmt.Errorf("%d of %d scenarios failed", sum.Failed, sum.Scenarios)
+	}
+	return nil
+}
+
+// runRoundBench runs the round-loop benchmark matrix — the deterministic
+// companion of internal/congest's BenchmarkRoundLoop* — prints the measured
+// throughput, and writes or folds the records into a canonical snapshot.
+func runRoundBench(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("qdcbench roundbench", flag.ContinueOnError)
+	jsonOut := fs.String("json", "", "write the round-loop records alone as a canonical snapshot to this file")
+	appendTo := fs.String("append", "", "fold the round-loop records into this snapshot file (created if absent), replacing same-named records")
+	workers := fs.Int("workers", 0, "concurrent scenario executions (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", exp.DefaultTimeout, "per-scenario wall-clock budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("roundbench takes no positional arguments (use -json/-append)")
+	}
+	m, ok := exp.LookupMatrix("roundbench")
+	if !ok {
+		return fmt.Errorf("the roundbench matrix is not registered")
+	}
+	collect := &exp.Collect{}
+	sum, err := exp.Execute(m.Expand(), exp.ExecOptions{Workers: *workers, Timeout: *timeout}, collect)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "roundbench: %d scenarios, %d passed, %d failed in %.0f ms\n",
+		sum.Scenarios, sum.Passed, sum.Failed, sum.WallMillis)
+	for _, r := range collect.Records {
+		if r.Failed() {
+			fmt.Fprintf(out, "  FAIL %-40s %s%s\n", r.Scenario.Name, r.Error, r.Detail)
+			continue
+		}
+		fmt.Fprintf(out, "  %-40s rounds=%-6d bits=%-10d %12.0f node-rounds/sec\n",
+			r.Scenario.Name, r.Stats.Rounds, r.Stats.Bits, exp.NodeRoundsPerSec(r))
+	}
+
+	writeSnapshot := func(path string, records []exp.Record) error {
+		sink, err := exp.CreateJSON(path)
+		if err != nil {
+			return err
+		}
+		for _, r := range records {
+			if err := sink.Write(r); err != nil {
+				return err
+			}
+		}
+		return sink.Close()
+	}
+	if *jsonOut != "" {
+		if err := writeSnapshot(*jsonOut, collect.Records); err != nil {
+			return err
+		}
+	}
+	if *appendTo != "" {
+		var base []exp.Record
+		if _, statErr := os.Stat(*appendTo); statErr == nil {
+			if base, err = exp.ReadRecords(*appendTo); err != nil {
+				return err
+			}
+		}
+		folded := exp.FoldRecords(base, collect.Records)
+		if err := writeSnapshot(*appendTo, folded); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "folded %d round-loop records into %s (%d total)\n",
+			len(collect.Records), *appendTo, len(folded))
+	}
+	if sum.Failed > 0 {
+		return fmt.Errorf("%d of %d round-loop scenarios failed", sum.Failed, sum.Scenarios)
 	}
 	return nil
 }

@@ -214,3 +214,59 @@ func TestUnknownMatrixError(t *testing.T) {
 		t.Error("an unknown matrix name must fail")
 	}
 }
+
+// TestRoundBenchCLI drives the roundbench subcommand end to end: a fresh
+// snapshot via -append, idempotent re-append, and byte-determinism of the
+// canonical file across runs.
+func TestRoundBenchCLI(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "bench-smoke.json")
+	spec := writeFile(t, dir, "pair.json", pairSpec)
+
+	var out bytes.Buffer
+	if err := run([]string{"-matrix", spec, "-json", snap}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"roundbench", "-append", snap}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "node-rounds/sec") {
+		t.Errorf("missing throughput column: %s", text)
+	}
+	if !strings.Contains(text, "grid4096/flood/parallel/B64") {
+		t.Errorf("missing round-loop scenario: %s", text)
+	}
+	first, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(first, []byte("path5/verify/local/B32")) {
+		t.Error("appending must keep the snapshot's original records")
+	}
+
+	// Re-appending the same deterministic records must not change a byte.
+	if err := run([]string{"roundbench", "-append", snap}, &out); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("re-appending identical records changed the snapshot bytes")
+	}
+
+	// -append also bootstraps a missing snapshot.
+	fresh := filepath.Join(dir, "fresh.json")
+	if err := run([]string{"roundbench", "-json", fresh}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"roundbench", "positional"}, &out); err == nil {
+		t.Error("positional arguments must be rejected")
+	}
+}

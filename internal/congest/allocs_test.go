@@ -1,0 +1,47 @@
+package congest
+
+import (
+	"fmt"
+	"testing"
+
+	"qdc/internal/graph"
+)
+
+// measureRunAllocs returns the average heap allocations of one full Run of
+// the flood workload for the given round count.
+func measureRunAllocs(t *testing.T, topo Topology, workers, rounds int) float64 {
+	t.Helper()
+	nw, err := NewNetwork(topo, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := func(*Context) Node { return &benchFloodNode{rounds: rounds} }
+	opts := Options{MaxRounds: rounds + 2, Workers: workers}
+	return testing.AllocsPerRun(5, func() {
+		if _, err := nw.Run(factory, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestRoundLoopSteadyStateAllocFree pins the tentpole guarantee: once a
+// run's buffers have warmed up (a handful of rounds), extra rounds allocate
+// nothing. Two runs of the same workload that differ only in round count
+// isolate the steady state — the per-run setup cost cancels in the
+// difference, so (allocs(long) - allocs(short)) / extra rounds must be ~0
+// on both the sequential and the pooled parallel path.
+func TestRoundLoopSteadyStateAllocFree(t *testing.T) {
+	topo := graph.Grid(24, 24)
+	const short, long = 8, 104
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			base := measureRunAllocs(t, topo, workers, short)
+			grown := measureRunAllocs(t, topo, workers, long)
+			perRound := (grown - base) / float64(long-short)
+			if perRound > 0.5 {
+				t.Errorf("steady state allocates %.2f objects/round (short run %.0f, long run %.0f); want 0",
+					perRound, base, grown)
+			}
+		})
+	}
+}

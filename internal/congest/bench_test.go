@@ -1,0 +1,158 @@
+package congest
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"qdc/internal/graph"
+)
+
+// The round-loop microbenchmarks measure the simulator's own per-round cost
+// — validation, bandwidth accounting, delivery — with node programs whose
+// local work is negligible and allocation-free, so the reported
+// node-rounds/sec is the hot path itself, not the algorithm on top. The CI
+// bench-smoke job runs them with -benchmem on every push, and `qdcbench
+// roundbench` feeds the same workloads' deterministic rounds/bits into the
+// BENCH_*.json trend (see internal/exp/roundbench.go).
+
+// benchFloodNode broadcasts a fixed payload to every neighbour each round
+// for a set number of rounds, then goes quiet. The outbox is built once in
+// Init and reused, and the payload is a small boxed int, so a steady-state
+// round allocates nothing in the node program — every measured allocation
+// belongs to the simulator.
+type benchFloodNode struct {
+	rounds int
+	outbox []Message
+}
+
+func (f *benchFloodNode) Init(ctx *Context) {
+	f.outbox = BroadcastAll(ctx, 1, 8)
+}
+
+func (f *benchFloodNode) Round(ctx *Context, round int, inbox []Message) ([]Message, bool) {
+	if round > f.rounds {
+		return nil, true
+	}
+	return f.outbox, false
+}
+
+// benchPingPongNode sends one message per round to a single partner: node
+// 2k exchanges with node 2k+1 along a path. Traffic is two messages per
+// node pair per round, so this measures the loop's fixed per-round overhead
+// at near-zero load — the regime where the old per-round map and slice
+// churn was pure waste.
+type benchPingPongNode struct {
+	rounds int
+	outbox []Message
+}
+
+func (p *benchPingPongNode) Init(ctx *Context) {
+	partner := ctx.ID() + 1
+	if ctx.ID()%2 == 1 {
+		partner = ctx.ID() - 1
+	}
+	if partner >= 0 && partner < ctx.N() && ctx.IsNeighbor(partner) {
+		p.outbox = []Message{NewMessage(partner, 1, 8)}
+	}
+}
+
+func (p *benchPingPongNode) Round(ctx *Context, round int, inbox []Message) ([]Message, bool) {
+	if round > p.rounds || p.outbox == nil {
+		return nil, true
+	}
+	return p.outbox, false
+}
+
+// runRoundLoopBench executes the workload b.N times and reports
+// node-rounds/sec and allocs/round (mallocs measured around the runs, so
+// node-program and simulator allocations both count — the node programs
+// above are allocation-free by construction).
+func runRoundLoopBench(b *testing.B, topo Topology, workers, rounds int, factory NodeFactory) {
+	b.Helper()
+	nw, err := NewNetwork(topo, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := topo.N()
+	opts := Options{MaxRounds: rounds + 2, Workers: workers}
+
+	b.ResetTimer()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	totalRounds := 0
+	for i := 0; i < b.N; i++ {
+		res, err := nw.Run(factory, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalRounds += res.Rounds
+	}
+	runtime.ReadMemStats(&after)
+	b.StopTimer()
+
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(totalRounds*n)/elapsed, "node-rounds/sec")
+	}
+	b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(totalRounds), "allocs/round")
+}
+
+func BenchmarkRoundLoopFlood(b *testing.B) {
+	const rounds = 64
+	for _, n := range []int{1024, 10_000, 100_000} {
+		side := intSqrt(n)
+		topo := graph.Grid(side, side)
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("grid%d/workers=%d", side*side, workers), func(b *testing.B) {
+				runRoundLoopBench(b, topo, workers, rounds, func(*Context) Node {
+					return &benchFloodNode{rounds: rounds}
+				})
+			})
+		}
+	}
+}
+
+func BenchmarkRoundLoopPingPong(b *testing.B) {
+	const rounds = 256
+	topo := graph.Path(1024)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("path1024/workers=%d", workers), func(b *testing.B) {
+			runRoundLoopBench(b, topo, workers, rounds, func(*Context) Node {
+				return &benchPingPongNode{rounds: rounds}
+			})
+		})
+	}
+}
+
+// BenchmarkRoundLoopScaleMatrix is the scale sweep of the round loop: the
+// flood workload across a size ladder on path and grid families, the same
+// shapes the exp `scale-xl` matrix runs end to end.
+func BenchmarkRoundLoopScaleMatrix(b *testing.B) {
+	const rounds = 32
+	cases := []struct {
+		name string
+		topo Topology
+	}{
+		{"path1025", graph.Path(1025)},
+		{"path16385", graph.Path(16385)},
+		{"grid1024", graph.Grid(32, 32)},
+		{"grid16384", graph.Grid(128, 128)},
+		{"grid102400", graph.Grid(320, 320)},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			runRoundLoopBench(b, tc.topo, 1, rounds, func(*Context) Node {
+				return &benchFloodNode{rounds: rounds}
+			})
+		})
+	}
+}
+
+func intSqrt(n int) int {
+	s := 1
+	for (s+1)*(s+1) <= n {
+		s++
+	}
+	return s
+}

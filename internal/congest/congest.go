@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 )
 
 // Default bandwidths used across benchmarks. CONGEST conventionally takes
@@ -80,9 +81,13 @@ type Context struct {
 	n         int
 	bandwidth int
 	neighbors []int
-	weights   map[int]float64
-	input     any
-	rng       *rand.Rand
+	// weights[i] is the weight of the edge to neighbors[i]. The parallel
+	// sorted slices replace the old per-node map so that the hot-path
+	// lookups (IsNeighbor, EdgeWeight, the simulator's own edge indexing)
+	// are a rank scan instead of a hash.
+	weights []float64
+	input   any
+	rng     *rand.Rand
 
 	output    any
 	outputSet bool
@@ -108,16 +113,56 @@ func (c *Context) Neighbors() []int {
 	return out
 }
 
-// IsNeighbor reports whether v is adjacent to this node.
-func (c *Context) IsNeighbor(v int) bool {
-	_, ok := c.weights[v]
-	return ok
+// NeighborAt returns the i-th neighbour in ascending-ID order, 0 <= i <
+// Degree(). Together with Degree it is the zero-alloc form of Neighbors().
+func (c *Context) NeighborAt(i int) int { return c.neighbors[i] }
+
+// ForEachNeighbor calls f for every neighbour in ascending-ID order without
+// copying the neighbour list.
+func (c *Context) ForEachNeighbor(f func(v int)) {
+	for _, v := range c.neighbors {
+		f(v)
+	}
 }
+
+// IsNeighbor reports whether v is adjacent to this node.
+func (c *Context) IsNeighbor(v int) bool { return c.neighborRank(v) >= 0 }
 
 // EdgeWeight returns the weight of the edge to neighbour v.
 func (c *Context) EdgeWeight(v int) (float64, bool) {
-	w, ok := c.weights[v]
-	return w, ok
+	r := c.neighborRank(v)
+	if r < 0 {
+		return 0, false
+	}
+	return c.weights[r], true
+}
+
+// neighborRank returns v's index in the sorted neighbour list, or -1 when v
+// is not a neighbour. Real topologies are dominated by small degrees, where
+// a linear scan beats binary search; large degrees fall back to the search.
+func (c *Context) neighborRank(v int) int {
+	ns := c.neighbors
+	if len(ns) <= 16 {
+		for i, u := range ns {
+			if u == v {
+				return i
+			}
+		}
+		return -1
+	}
+	lo, hi := 0, len(ns)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ns[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ns) && ns[lo] == v {
+		return lo
+	}
+	return -1
 }
 
 // Input returns the problem-specific input assigned to this node via
@@ -251,16 +296,20 @@ type Options struct {
 	// Zero means a default of 64*n + 64 rounds.
 	MaxRounds int
 	// Trace, if non-nil, is invoked for every accepted message with the
-	// round in which it was sent. It is used by the Simulation Theorem
-	// engine (internal/simulation) to re-account each message to the party
-	// that owns its sender.
+	// round in which it was sent, in deterministic sender-ID order. It is
+	// used by the Simulation Theorem engine (internal/simulation) to
+	// re-account each message to the party that owns its sender. A non-nil
+	// Trace forces the merge half of each round onto the sequential path
+	// (stepping still parallelises under Workers), preserving the callback
+	// order.
 	Trace func(round int, msg Message)
-	// Workers selects how many goroutines step nodes within each round.
-	// Values <= 1 step nodes sequentially. Any value produces bit-for-bit
-	// identical Results: nodes only interact through messages delivered at
-	// round boundaries, each node owns a private random stream, and message
-	// validation, accounting and delivery always happen sequentially in
-	// node-ID order after all nodes of the round have stepped.
+	// Workers selects how many goroutines step nodes and merge traffic
+	// within each round. Values <= 1 run sequentially. Any value produces
+	// bit-for-bit identical Results: nodes only interact through messages
+	// delivered at round boundaries, each node owns a private random
+	// stream, every per-round quantity is a sum or max folded in
+	// deterministic order, and messages are delivered at positions computed
+	// from the CSR edge index, independent of worker scheduling.
 	Workers int
 	// Cancel, if non-nil, is polled once per round before the round's nodes
 	// step; when it returns true, Run stops and returns the partial result
@@ -274,29 +323,113 @@ type Options struct {
 	PerRound bool
 }
 
-type directedEdge struct{ from, to int }
-
 // Run executes the algorithm produced by factory on every node and returns
 // run statistics. It is deterministic for a fixed seed.
+//
+// The round loop is steady-state allocation-free: the per-run state below
+// (CSR edge index, flat bandwidth tables, double-buffered inboxes) is built
+// once, and each round only resets lengths and counters. A node's inbox
+// slice is therefore valid only for the duration of the Round call that
+// receives it — the buffer is reused for a later round's delivery (payload
+// values themselves are never touched; only the []Message backing array is
+// recycled). See DESIGN.md, "The congest hot path".
 func (nw *Network) Run(factory NodeFactory, opts Options) (*Result, error) {
+	st, err := newRunState(nw, factory, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer st.close()
+	return st.run()
+}
+
+// runState is the per-run working set of Network.Run. Everything in it is
+// allocated before round 1 and reused by every round.
+type runState struct {
+	nw   *Network
+	opts Options
+	n    int
+	res  *Result
+
+	ctxs  []*Context
+	nodes []Node
+	done  []bool
+
+	// inboxes are the messages delivered this round; next is the buffer
+	// the current round's traffic is staged into. The two swap at every
+	// round boundary, and next's per-node slices are length-reset, not
+	// reallocated.
+	inboxes  [][]Message
+	next     [][]Message
+	outboxes [][]Message
+
+	// The CSR edge index. Directed edge (v -> u) has slot
+	// offsets[v] + rank of u in v's sorted neighbour list; node v owns
+	// slots offsets[v]..offsets[v+1]. inSlot is the reverse view used by
+	// the parallel merge: in-edge i of receiver u (from its i-th smallest
+	// neighbour) is slot inSlot[offsets[u]+i].
+	offsets []int32
+	inSlot  []int32
+
+	// Flat per-directed-edge tables, indexed by slot and reset via the
+	// touched lists so a quiet round costs O(traffic), not O(m). Bandwidths
+	// beyond ~2^31 bits/round would overflow the int32 accumulation; the
+	// budget check itself runs in int, so violations are still caught.
+	edgeBits []int32 // bits charged this round
+	edgeMsgs []int32 // messages staged this round
+	basePos  []int32 // parallel merge: first inbox position of the slot
+	cursor   []int32 // parallel merge: next free offset within the slot
+	touched  []int32 // slots charged this round (sequential merge)
+
+	// Per-round termination folds.
+	round      int
+	allDone    bool
+	anyMessage bool
+
+	// Parallel execution (Options.Workers > 1): a pool of goroutines that
+	// lives for the whole run, per-worker accounting scratch, and the
+	// phase closures built once so rounds allocate nothing.
+	pool        *workerPool
+	scratch     []mergeScratch
+	panics      []any
+	panicked    atomic.Bool
+	mergeFailed atomic.Bool
+	nextNode    atomic.Int64
+	stepJob     func(w int)
+	validateJob func(w int)
+	sizeJob     func(w int)
+	scatterJob  func(w int)
+	// asymmetric marks a degenerate Topology whose neighbour lists are not
+	// symmetric; the reverse edge index is unusable then, so the merge
+	// stays on the sequential path.
+	asymmetric bool
+}
+
+func newRunState(nw *Network, factory NodeFactory, opts Options) (*runState, error) {
 	n := nw.topo.N()
-	maxRounds := opts.MaxRounds
-	if maxRounds <= 0 {
-		maxRounds = 64*n + 64
+	if opts.MaxRounds <= 0 {
+		opts.MaxRounds = 64*n + 64
+	}
+	st := &runState{
+		nw:   nw,
+		opts: opts,
+		n:    n,
+		res:  &Result{Outputs: make(map[int]any, n)},
 	}
 
-	ctxs := make([]*Context, n)
-	nodes := make([]Node, n)
+	st.ctxs = make([]*Context, n)
+	st.nodes = make([]Node, n)
 	for v := 0; v < n; v++ {
-		neighbors := nw.topo.Neighbors(v)
-		sort.Ints(neighbors)
-		weights := make(map[int]float64, len(neighbors))
-		for _, u := range neighbors {
+		nbrs := nw.topo.Neighbors(v)
+		sort.Ints(nbrs)
+		neighbors := make([]int, 0, len(nbrs))
+		weights := make([]float64, 0, len(nbrs))
+		for _, u := range nbrs {
 			if w, ok := nw.topo.Weight(v, u); ok {
-				weights[u] = w
+				neighbors = append(neighbors, u)
+				weights = append(weights, w)
 			}
 		}
-		ctxs[v] = &Context{
+		st.ctxs[v] = &Context{
 			id:        v,
 			n:         n,
 			bandwidth: nw.bandwidth,
@@ -305,91 +438,219 @@ func (nw *Network) Run(factory NodeFactory, opts Options) (*Result, error) {
 			input:     nw.inputs[v],
 			rng:       rand.New(rand.NewSource(nw.seed*1_000_003 + int64(v))),
 		}
-		nodes[v] = factory(ctxs[v])
-		if nodes[v] == nil {
+		st.nodes[v] = factory(st.ctxs[v])
+		if st.nodes[v] == nil {
 			return nil, fmt.Errorf("congest: factory returned nil node for id %d", v)
 		}
 	}
 	for v := 0; v < n; v++ {
-		nodes[v].Init(ctxs[v])
+		st.nodes[v].Init(st.ctxs[v])
 	}
 
-	res := &Result{Outputs: make(map[int]any, n)}
-	inboxes := make([][]Message, n)
-	outboxes := make([][]Message, n)
-	done := make([]bool, n)
-
-	for round := 1; round <= maxRounds; round++ {
-		if opts.Cancel != nil && opts.Cancel() {
-			for v := 0; v < n; v++ {
-				if out, ok := ctxs[v].Output(); ok {
-					res.Outputs[v] = out
-				}
+	// CSR edge index over the contexts' sorted neighbour lists.
+	st.offsets = make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		st.offsets[v+1] = st.offsets[v] + int32(len(st.ctxs[v].neighbors))
+	}
+	slots := st.offsets[n]
+	st.inSlot = make([]int32, slots)
+	for u := 0; u < n; u++ {
+		for i, v := range st.ctxs[u].neighbors {
+			r := st.ctxs[v].neighborRank(u)
+			if r < 0 {
+				st.asymmetric = true
+				continue
 			}
+			st.inSlot[st.offsets[u]+int32(i)] = st.offsets[v] + int32(r)
+		}
+	}
+	st.edgeBits = make([]int32, slots)
+	st.edgeMsgs = make([]int32, slots)
+	st.basePos = make([]int32, slots)
+	st.cursor = make([]int32, slots)
+
+	st.inboxes = make([][]Message, n)
+	st.next = make([][]Message, n)
+	st.outboxes = make([][]Message, n)
+	st.done = make([]bool, n)
+
+	workers := opts.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers > 1 {
+		st.pool = newWorkerPool(workers)
+		st.scratch = make([]mergeScratch, workers)
+		st.panics = make([]any, n)
+		st.stepJob = st.stepWorker
+		st.validateJob = st.validateWorker
+		st.sizeJob = st.sizeWorker
+		st.scatterJob = st.scatterWorker
+	}
+	return st, nil
+}
+
+// close releases the worker pool; it is safe on the sequential path.
+func (st *runState) close() {
+	if st.pool != nil {
+		st.pool.close()
+	}
+}
+
+func (st *runState) run() (*Result, error) {
+	res := st.res
+	for round := 1; round <= st.opts.MaxRounds; round++ {
+		if st.opts.Cancel != nil && st.opts.Cancel() {
+			st.collectOutputs()
 			return res, fmt.Errorf("%w: before round %d", ErrCancelled, round)
 		}
 		res.Rounds = round
-		stepNodes(nodes, ctxs, round, inboxes, outboxes, done, opts.Workers)
-		nextInboxes := make([][]Message, n)
-		edgeBits := make(map[directedEdge]int)
-		traffic := RoundTraffic{}
-		allDone := true
-		anyMessage := false
-
-		for v := 0; v < n; v++ {
-			if !done[v] {
-				allDone = false
-			}
-			for _, msg := range outboxes[v] {
-				msg.From = v
-				if !ctxs[v].IsNeighbor(msg.To) {
-					return res, fmt.Errorf("%w: node %d -> %d in round %d", ErrNotNeighbor, v, msg.To, round)
-				}
-				if msg.Bits < 0 {
-					msg.Bits = 0
-				}
-				key := directedEdge{from: v, to: msg.To}
-				edgeBits[key] += msg.Bits
-				if edgeBits[key] > nw.bandwidth {
-					return res, fmt.Errorf("%w: node %d -> %d sent %d bits in round %d (B=%d)",
-						ErrBandwidthExceeded, v, msg.To, edgeBits[key], round, nw.bandwidth)
-				}
-				nextInboxes[msg.To] = append(nextInboxes[msg.To], msg)
-				res.TotalMessages++
-				res.TotalBits += int64(msg.Bits)
-				if msg.Quantum {
-					res.QuantumBits += int64(msg.Bits)
-					traffic.QuantumBits += int64(msg.Bits)
-				} else {
-					traffic.ClassicalBits += int64(msg.Bits)
-				}
-				anyMessage = true
-				if opts.Trace != nil {
-					opts.Trace(round, msg)
-				}
-				if edgeBits[key] > res.MaxEdgeBitsPerRound {
-					res.MaxEdgeBitsPerRound = edgeBits[key]
-				}
-			}
+		st.step(round)
+		if err := st.merge(round); err != nil {
+			st.collectOutputs()
+			return res, err
 		}
-
-		if opts.PerRound {
-			res.PerRound = append(res.PerRound, traffic)
-		}
-		inboxes = nextInboxes
-		if allDone && !anyMessage {
+		st.inboxes, st.next = st.next, st.inboxes
+		if st.allDone && !st.anyMessage {
 			res.Terminated = true
 			break
 		}
 	}
-
-	for v := 0; v < n; v++ {
-		if out, ok := ctxs[v].Output(); ok {
-			res.Outputs[v] = out
-		}
-	}
+	st.collectOutputs()
 	if !res.Terminated {
 		return res, fmt.Errorf("%w: after %d rounds", ErrRoundLimit, res.Rounds)
 	}
 	return res, nil
+}
+
+// collectOutputs copies every node's recorded output into the result. It
+// runs on every exit path — success, round limit, cancellation and message
+// validation errors alike — so partial results always carry whatever the
+// nodes managed to decide.
+func (st *runState) collectOutputs() {
+	for v := 0; v < st.n; v++ {
+		if out, ok := st.ctxs[v].Output(); ok {
+			st.res.Outputs[v] = out
+		}
+	}
+}
+
+// step invokes every node's Round for the given round, filling outboxes
+// and done.
+func (st *runState) step(round int) {
+	st.round = round
+	if st.pool == nil {
+		for v := 0; v < st.n; v++ {
+			if p := st.stepOne(v); p != nil {
+				panic(panicText(v, round, p))
+			}
+		}
+		return
+	}
+	st.panicked.Store(false)
+	st.nextNode.Store(0)
+	st.pool.run(st.stepJob)
+	if st.panicked.Load() {
+		// Re-raise the panic of the lowest-ID panicking node, so a failing
+		// run reports identically whatever the worker count or scheduling.
+		for v := 0; v < st.n; v++ {
+			if st.panics[v] != nil {
+				panic(panicText(v, round, st.panics[v]))
+			}
+		}
+	}
+}
+
+// stepOne runs one node's Round and returns its panic value, if any, so the
+// caller can surface it deterministically.
+func (st *runState) stepOne(v int) (panicked any) {
+	defer func() { panicked = recover() }()
+	st.outboxes[v], st.done[v] = st.nodes[v].Round(st.ctxs[v], st.round, st.inboxes[v])
+	return nil
+}
+
+// merge validates, accounts and delivers the round's traffic. The parallel
+// path requires the reverse edge index and an unobserved message order, so
+// Trace and asymmetric topologies stay sequential.
+func (st *runState) merge(round int) error {
+	st.allDone = true
+	st.anyMessage = false
+	if st.pool == nil || st.opts.Trace != nil || st.asymmetric {
+		for v := 0; v < st.n; v++ {
+			st.next[v] = st.next[v][:0]
+		}
+		return st.mergeSeq(round)
+	}
+	return st.mergePar(round)
+}
+
+// mergeSeq is the sequential merge: one pass over senders in ID order,
+// appending into the reused next-inbox buffers. It is also the reference
+// semantics the parallel path replays on its (cold) error paths, so the two
+// return bit-for-bit identical partial results.
+func (st *runState) mergeSeq(round int) error {
+	res := st.res
+	bandwidth := st.nw.bandwidth
+	var traffic RoundTraffic
+	for v := 0; v < st.n; v++ {
+		if !st.done[v] {
+			st.allDone = false
+		}
+		ctx := st.ctxs[v]
+		base := st.offsets[v]
+		for _, msg := range st.outboxes[v] {
+			msg.From = v
+			r := ctx.neighborRank(msg.To)
+			if r < 0 {
+				st.resetEdgeTables()
+				return fmt.Errorf("%w: node %d -> %d in round %d", ErrNotNeighbor, v, msg.To, round)
+			}
+			if msg.Bits < 0 {
+				msg.Bits = 0
+			}
+			slot := base + int32(r)
+			if st.edgeMsgs[slot] == 0 {
+				st.touched = append(st.touched, slot)
+			}
+			total := int(st.edgeBits[slot]) + msg.Bits
+			if total > bandwidth {
+				st.resetEdgeTables()
+				return fmt.Errorf("%w: node %d -> %d sent %d bits in round %d (B=%d)",
+					ErrBandwidthExceeded, v, msg.To, total, round, bandwidth)
+			}
+			st.edgeBits[slot] = int32(total)
+			st.edgeMsgs[slot]++
+			st.next[msg.To] = append(st.next[msg.To], msg)
+			res.TotalMessages++
+			res.TotalBits += int64(msg.Bits)
+			if msg.Quantum {
+				res.QuantumBits += int64(msg.Bits)
+				traffic.QuantumBits += int64(msg.Bits)
+			} else {
+				traffic.ClassicalBits += int64(msg.Bits)
+			}
+			st.anyMessage = true
+			if st.opts.Trace != nil {
+				st.opts.Trace(round, msg)
+			}
+			if total > res.MaxEdgeBitsPerRound {
+				res.MaxEdgeBitsPerRound = total
+			}
+		}
+	}
+	if st.opts.PerRound {
+		res.PerRound = append(res.PerRound, traffic)
+	}
+	st.resetEdgeTables()
+	return nil
+}
+
+// resetEdgeTables zeroes only the slots the round actually charged, so the
+// per-round cost tracks traffic rather than graph size.
+func (st *runState) resetEdgeTables() {
+	for _, slot := range st.touched {
+		st.edgeBits[slot] = 0
+		st.edgeMsgs[slot] = 0
+	}
+	st.touched = st.touched[:0]
 }

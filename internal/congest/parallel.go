@@ -1,67 +1,86 @@
 package congest
 
-import (
-	"fmt"
-	"sync"
-	"sync/atomic"
-)
+import "fmt"
 
-// stepNodes invokes every node's Round for the given round, filling
-// outboxes[v] and done[v]. With workers <= 1 the nodes step sequentially in
-// ID order; otherwise up to workers goroutines claim nodes from a shared
-// counter and step them concurrently.
+// The parallel execution path. With Options.Workers > 1 a run owns a pool of
+// goroutines that lives from round 1 to termination; each round dispatches
+// the same pre-built job closures to the pool, so the steady state allocates
+// nothing. Nodes are claimed from a shared counter in chunks to amortise the
+// atomic and keep neighbouring nodes' state on one worker's cache.
 //
-// The concurrent path is observationally identical to the sequential one:
-// a node's Round only reads its own state, its own Context and its own
-// inbox, so the cross-node data flow (validation, bandwidth accounting,
-// delivery, tracing) stays entirely inside the caller's sequential merge
-// loop. Panics are part of the contract too: either path re-raises the
-// panic of the lowest-ID panicking node, tagged with the node and round,
-// so a failing run reports identically whatever the worker count or
-// scheduling.
-func stepNodes(nodes []Node, ctxs []*Context, round int, inboxes, outboxes [][]Message, done []bool, workers int) {
-	n := len(nodes)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for v := 0; v < n; v++ {
-			if p := stepOne(nodes, ctxs, round, inboxes, outboxes, done, v); p != nil {
-				panic(panicText(v, round, p))
-			}
-		}
-		return
-	}
+// The contract is bit-for-bit equality with the sequential path, argued in
+// DESIGN.md ("The congest hot path"): stepping is trivially order-free (a
+// node's Round touches only its own state and inbox), accounting folds
+// per-worker sums and maxes in worker-index order, and delivery writes every
+// message at the exact index the sequential append would have used, computed
+// from the CSR edge index. Error rounds leave the parallel path entirely:
+// the round is re-merged sequentially, so partial results and error text
+// match the sequential run down to the byte.
 
-	var (
-		next      atomic.Int64
-		wg        sync.WaitGroup
-		panickedV atomic.Bool
-		panics    = make([]any, n)
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				v := int(next.Add(1)) - 1
-				if v >= n {
-					return
-				}
-				if p := stepOne(nodes, ctxs, round, inboxes, outboxes, done, v); p != nil {
-					panics[v] = p
-					panickedV.Store(true)
-				}
-			}
-		}()
+// mergeChunk is the number of consecutive node IDs a worker claims per
+// shared-counter increment.
+const mergeChunk = 64
+
+// mergeScratch is one worker's private accounting for a round, folded into
+// the shared Result between phases. Padded so adjacent workers' counters do
+// not share a cache line.
+type mergeScratch struct {
+	totalMessages int
+	totalBits     int64
+	quantumBits   int64
+	classicalBits int64
+	maxEdgeBits   int
+	notAllDone    bool
+	anyMessage    bool
+	_             [64]byte
+}
+
+func (sc *mergeScratch) reset() {
+	*sc = mergeScratch{}
+}
+
+// workerPool is a fixed set of goroutines that execute one job function at a
+// time. run dispatches the job to every worker and blocks until all report
+// back; the pool is reused across rounds and phases without spawning.
+type workerPool struct {
+	workers int
+	jobs    []chan func(w int)
+	done    chan struct{}
+}
+
+func newWorkerPool(workers int) *workerPool {
+	p := &workerPool{
+		workers: workers,
+		jobs:    make([]chan func(w int), workers),
+		done:    make(chan struct{}, workers),
 	}
-	wg.Wait()
-	if panickedV.Load() {
-		for v := 0; v < n; v++ {
-			if panics[v] != nil {
-				panic(panicText(v, round, panics[v]))
+	for w := 0; w < workers; w++ {
+		ch := make(chan func(w int), 1)
+		p.jobs[w] = ch
+		go func(w int, ch chan func(w int)) {
+			for job := range ch {
+				job(w)
+				p.done <- struct{}{}
 			}
-		}
+		}(w, ch)
+	}
+	return p
+}
+
+// run executes job(w) on every worker w and returns when all have finished.
+func (p *workerPool) run(job func(w int)) {
+	for _, ch := range p.jobs {
+		ch <- job
+	}
+	for i := 0; i < p.workers; i++ {
+		<-p.done
+	}
+}
+
+// close terminates the pool's goroutines. The pool must be idle.
+func (p *workerPool) close() {
+	for _, ch := range p.jobs {
+		close(ch)
 	}
 }
 
@@ -69,10 +88,215 @@ func panicText(v, round int, p any) string {
 	return fmt.Sprintf("congest: node %d panicked in round %d: %v", v, round, p)
 }
 
-// stepOne runs one node's Round and returns its panic value, if any, so
-// the caller can surface it deterministically.
-func stepOne(nodes []Node, ctxs []*Context, round int, inboxes, outboxes [][]Message, done []bool, v int) (panicked any) {
-	defer func() { panicked = recover() }()
-	outboxes[v], done[v] = nodes[v].Round(ctxs[v], round, inboxes[v])
+// claim hands the worker the next chunk of node IDs, [lo, hi); ok is false
+// when the round's nodes are exhausted.
+func (st *runState) claim() (lo, hi int, ok bool) {
+	end := int(st.nextNode.Add(mergeChunk))
+	lo = end - mergeChunk
+	if lo >= st.n {
+		return 0, 0, false
+	}
+	if end > st.n {
+		end = st.n
+	}
+	return lo, end, true
+}
+
+// stepWorker steps claimed nodes, recording panics per node so the caller
+// can re-raise the lowest ID deterministically.
+func (st *runState) stepWorker(int) {
+	for {
+		lo, hi, ok := st.claim()
+		if !ok {
+			return
+		}
+		for v := lo; v < hi; v++ {
+			if p := st.stepOne(v); p != nil {
+				st.panics[v] = p
+				st.panicked.Store(true)
+			}
+		}
+	}
+}
+
+// mergePar is the parallel merge: three barrier-separated phases over the
+// round's traffic.
+//
+//  1. validate: workers claim senders and charge each message against the
+//     sender-private slots of the CSR edge index (edgeBits/edgeMsgs), summing
+//     traffic into per-worker scratch. Slots of distinct senders are
+//     distinct, so no two workers touch the same table entry.
+//  2. size: workers claim receivers, turn each receiver's in-slot message
+//     counts into inbox positions (basePos), length-reset its inbox buffer,
+//     and zero the tables for the next round. Every slot is an in-slot of
+//     exactly one receiver, so this phase is also write-disjoint.
+//  3. scatter: workers claim senders again and write each message at
+//     basePos[slot]+cursor[slot]++ — the position the sequential merge's
+//     append would have chosen, since a receiver's in-slots are ordered by
+//     sender ID and cursors advance in outbox order.
+//
+// A validation failure abandons the round's staged state and replays the
+// whole merge sequentially (cold path), reproducing the sequential partial
+// accounting and error text exactly.
+func (st *runState) mergePar(round int) error {
+	for w := range st.scratch {
+		st.scratch[w].reset()
+	}
+	st.mergeFailed.Store(false)
+	st.nextNode.Store(0)
+	st.pool.run(st.validateJob)
+
+	if st.mergeFailed.Load() {
+		// Cold path: wipe all staged state and re-run the round's merge
+		// sequentially for byte-identical partial results and error.
+		for i := range st.edgeBits {
+			st.edgeBits[i] = 0
+			st.edgeMsgs[i] = 0
+		}
+		st.touched = st.touched[:0]
+		for v := 0; v < st.n; v++ {
+			st.next[v] = st.next[v][:0]
+		}
+		st.allDone = true
+		st.anyMessage = false
+		return st.mergeSeq(round)
+	}
+
+	res := st.res
+	var traffic RoundTraffic
+	for w := range st.scratch {
+		sc := &st.scratch[w]
+		if sc.notAllDone {
+			st.allDone = false
+		}
+		if sc.anyMessage {
+			st.anyMessage = true
+		}
+		res.TotalMessages += sc.totalMessages
+		res.TotalBits += sc.totalBits
+		res.QuantumBits += sc.quantumBits
+		traffic.QuantumBits += sc.quantumBits
+		traffic.ClassicalBits += sc.classicalBits
+		if sc.maxEdgeBits > res.MaxEdgeBitsPerRound {
+			res.MaxEdgeBitsPerRound = sc.maxEdgeBits
+		}
+	}
+	if st.opts.PerRound {
+		res.PerRound = append(res.PerRound, traffic)
+	}
+
+	st.nextNode.Store(0)
+	st.pool.run(st.sizeJob)
+	st.nextNode.Store(0)
+	st.pool.run(st.scatterJob)
 	return nil
+}
+
+// validateWorker is phase 1 of mergePar.
+func (st *runState) validateWorker(w int) {
+	sc := &st.scratch[w]
+	bandwidth := st.nw.bandwidth
+	for {
+		if st.mergeFailed.Load() {
+			return
+		}
+		lo, hi, ok := st.claim()
+		if !ok {
+			return
+		}
+		for v := lo; v < hi; v++ {
+			if !st.done[v] {
+				sc.notAllDone = true
+			}
+			ctx := st.ctxs[v]
+			base := st.offsets[v]
+			out := st.outboxes[v]
+			for i := range out {
+				r := ctx.neighborRank(out[i].To)
+				if r < 0 {
+					st.mergeFailed.Store(true)
+					return
+				}
+				bits := out[i].Bits
+				if bits < 0 {
+					bits = 0
+				}
+				slot := base + int32(r)
+				total := int(st.edgeBits[slot]) + bits
+				if total > bandwidth {
+					st.mergeFailed.Store(true)
+					return
+				}
+				st.edgeBits[slot] = int32(total)
+				st.edgeMsgs[slot]++
+				sc.totalMessages++
+				sc.totalBits += int64(bits)
+				if out[i].Quantum {
+					sc.quantumBits += int64(bits)
+				} else {
+					sc.classicalBits += int64(bits)
+				}
+				sc.anyMessage = true
+				if total > sc.maxEdgeBits {
+					sc.maxEdgeBits = total
+				}
+			}
+		}
+	}
+}
+
+// sizeWorker is phase 2 of mergePar.
+func (st *runState) sizeWorker(int) {
+	for {
+		lo, hi, ok := st.claim()
+		if !ok {
+			return
+		}
+		for u := lo; u < hi; u++ {
+			base := st.offsets[u]
+			deg := st.offsets[u+1] - base
+			var total int32
+			for i := int32(0); i < deg; i++ {
+				slot := st.inSlot[base+i]
+				st.basePos[slot] = total
+				st.cursor[slot] = 0
+				total += st.edgeMsgs[slot]
+				st.edgeMsgs[slot] = 0
+				st.edgeBits[slot] = 0
+			}
+			buf := st.next[u]
+			if cap(buf) < int(total) {
+				buf = make([]Message, total)
+			} else {
+				buf = buf[:total]
+			}
+			st.next[u] = buf
+		}
+	}
+}
+
+// scatterWorker is phase 3 of mergePar.
+func (st *runState) scatterWorker(int) {
+	for {
+		lo, hi, ok := st.claim()
+		if !ok {
+			return
+		}
+		for v := lo; v < hi; v++ {
+			ctx := st.ctxs[v]
+			base := st.offsets[v]
+			out := st.outboxes[v]
+			for i := range out {
+				msg := out[i]
+				msg.From = v
+				if msg.Bits < 0 {
+					msg.Bits = 0
+				}
+				slot := base + int32(ctx.neighborRank(msg.To))
+				pos := st.basePos[slot] + st.cursor[slot]
+				st.cursor[slot]++
+				st.next[msg.To][pos] = msg
+			}
+		}
+	}
 }

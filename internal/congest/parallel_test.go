@@ -1,6 +1,7 @@
 package congest
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -67,6 +68,140 @@ func TestWorkersProduceIdenticalResults(t *testing.T) {
 	for _, workers := range []int{1, 2, 8, 64} {
 		if got := run(workers); !reflect.DeepEqual(sequential, got) {
 			t.Errorf("Workers=%d diverged from sequential:\nseq %+v\ngot %+v", workers, sequential, got)
+		}
+	}
+}
+
+// hybridNode exercises every accounted quantity at once: classical and
+// quantum messages of uneven sizes, per-round traffic splits, outputs, and
+// private randomness. Used to pin full-Result equality across worker counts.
+type hybridNode struct{ rounds int }
+
+func (h *hybridNode) Init(*Context) {}
+
+func (h *hybridNode) Round(ctx *Context, round int, inbox []Message) ([]Message, bool) {
+	if round > h.rounds {
+		return nil, true
+	}
+	if round == h.rounds {
+		ctx.SetOutput([2]int{ctx.ID(), len(inbox)})
+	}
+	var out []Message
+	for i := 0; i < ctx.Degree(); i++ {
+		u := ctx.NeighborAt(i)
+		if (ctx.ID()+u+round)%3 == 0 {
+			out = append(out, NewQubitMessage(u, round, 3+ctx.Rand().Intn(3)))
+		} else {
+			out = append(out, NewMessage(u, round, 2+(ctx.ID()+round)%5))
+		}
+	}
+	return out, false
+}
+
+func TestWorkersIdenticalFullResult(t *testing.T) {
+	// Bit-for-bit equality of the whole Result — rounds, message and bit
+	// totals, the quantum split, the per-round traffic breakdown, the
+	// per-edge maximum and the outputs map — between the sequential merge
+	// and the pooled parallel merge.
+	run := func(workers int) *Result {
+		nw, err := NewNetwork(ring(53), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw.SetSeed(17)
+		res, err := nw.Run(func(*Context) Node { return &hybridNode{rounds: 24} },
+			Options{Workers: workers, PerRound: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	sequential := run(0)
+	if sequential.QuantumBits == 0 || sequential.QuantumBits == sequential.TotalBits {
+		t.Fatalf("workload must mix quantum and classical traffic, got %d of %d quantum",
+			sequential.QuantumBits, sequential.TotalBits)
+	}
+	if len(sequential.PerRound) != sequential.Rounds {
+		t.Fatalf("PerRound has %d entries for %d rounds", len(sequential.PerRound), sequential.Rounds)
+	}
+	for _, workers := range []int{1, 4} {
+		if got := run(workers); !reflect.DeepEqual(sequential, got) {
+			t.Errorf("Workers=%d diverged from sequential:\nseq %+v\ngot %+v", workers, sequential, got)
+		}
+	}
+}
+
+// roguePeer floods legally until round 3, when one designated node breaks a
+// rule: addressing a non-neighbour or overrunning the bandwidth budget.
+// Every node records an output in round 1, before the violation, so the
+// partial result's Outputs map is non-trivial at error time.
+type roguePeer struct {
+	rogue    bool
+	overrun  bool
+	partner  int
+	stranger int
+}
+
+func (r *roguePeer) Init(ctx *Context) {
+	r.partner = ctx.NeighborAt(0)
+	r.stranger = (ctx.ID() + ctx.N()/2) % ctx.N()
+}
+
+func (r *roguePeer) Round(ctx *Context, round int, inbox []Message) ([]Message, bool) {
+	if round == 1 {
+		ctx.SetOutput(ctx.ID() * 10)
+	}
+	if r.rogue && round == 3 {
+		if r.overrun {
+			return []Message{NewMessage(r.partner, 0, 9), NewMessage(r.partner, 0, 9)}, false
+		}
+		return []Message{NewMessage(r.stranger, 0, 1)}, false
+	}
+	if round >= 5 {
+		return nil, true
+	}
+	return []Message{NewMessage(r.partner, round, 4)}, false
+}
+
+func TestErrorPathsIdenticalAcrossWorkers(t *testing.T) {
+	// A validation failure makes the parallel merge abandon the round and
+	// replay it sequentially, so the partial Result and the error text must
+	// match the sequential run exactly — and both must still collect the
+	// outputs nodes had recorded before the violation.
+	for _, overrun := range []bool{false, true} {
+		run := func(workers int) (*Result, error) {
+			nw, err := NewNetwork(ring(32), 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return nw.Run(func(ctx *Context) Node {
+				return &roguePeer{rogue: ctx.ID() == 7, overrun: overrun}
+			}, Options{Workers: workers, PerRound: true})
+		}
+		seqRes, seqErr := run(0)
+		if seqErr == nil {
+			t.Fatalf("overrun=%v: expected a validation error", overrun)
+		}
+		wantErr := ErrNotNeighbor
+		if overrun {
+			wantErr = ErrBandwidthExceeded
+		}
+		if !errors.Is(seqErr, wantErr) {
+			t.Fatalf("overrun=%v: got error %v, want %v", overrun, seqErr, wantErr)
+		}
+		if len(seqRes.Outputs) != 32 {
+			t.Errorf("overrun=%v: error return collected %d outputs, want all 32",
+				overrun, len(seqRes.Outputs))
+		}
+		for _, workers := range []int{1, 4} {
+			gotRes, gotErr := run(workers)
+			if gotErr == nil || gotErr.Error() != seqErr.Error() {
+				t.Errorf("overrun=%v Workers=%d: error %v, want %v", overrun, workers, gotErr, seqErr)
+			}
+			if !reflect.DeepEqual(seqRes, gotRes) {
+				t.Errorf("overrun=%v Workers=%d: partial result diverged:\nseq %+v\ngot %+v",
+					overrun, workers, seqRes, gotRes)
+			}
 		}
 	}
 }

@@ -57,3 +57,16 @@ func Broadcast(neighbors []int, payload any, bits int) []Message {
 	}
 	return out
 }
+
+// BroadcastAll builds one identical message per neighbour of ctx. It is the
+// hot-path form of Broadcast(ctx.Neighbors(), ...): the same messages
+// without first copying the neighbour list. The returned slice is owned by
+// the caller and may be reused across rounds (the simulator never mutates a
+// node's outbox).
+func BroadcastAll(ctx *Context, payload any, bits int) []Message {
+	out := make([]Message, ctx.Degree())
+	for i := range out {
+		out[i] = Message{To: ctx.NeighborAt(i), Payload: payload, Bits: bits}
+	}
+	return out
+}

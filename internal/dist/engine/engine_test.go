@@ -19,7 +19,7 @@ func (e *echoNode) Round(ctx *congest.Context, round int, inbox []congest.Messag
 		ctx.SetOutput(ctx.Input())
 		return nil, true
 	}
-	return congest.Broadcast(ctx.Neighbors(), round, 4), false
+	return congest.BroadcastAll(ctx, round, 4), false
 }
 
 func TestNewLocalValidation(t *testing.T) {

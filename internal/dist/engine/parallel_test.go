@@ -34,7 +34,7 @@ func (g *gossipNode) Round(ctx *congest.Context, round int, inbox []congest.Mess
 		ctx.SetOutput(g.best)
 		return nil, true
 	}
-	return congest.Broadcast(ctx.Neighbors(), g.best, 16), false
+	return congest.BroadcastAll(ctx, g.best, 16), false
 }
 
 // TestNewParallelMatchesLocal pins the backend equivalence guarantee at the

@@ -1,0 +1,110 @@
+// Package flood implements the BFS flooding primitive: a designated source
+// announces itself, every node adopts the hop distance at which the
+// announcement first reaches it, and the wave dies out after ecc(source)+O(1)
+// rounds. Flooding is the minimal all-touch workload of the CONGEST model —
+// every edge carries O(1) messages of O(log n) bits and the round count is
+// exactly the distance metric — which makes it the scale workload of the
+// experiment harness: it exercises the simulator's full per-round machinery
+// on topologies far larger than the MST and verification sweeps can afford,
+// and its output is checked against a sequential BFS in O(n + m) time.
+package flood
+
+import (
+	"errors"
+	"fmt"
+
+	"qdc/internal/congest"
+	"qdc/internal/dist/engine"
+)
+
+// ErrBadSource reports a source vertex outside the network.
+var ErrBadSource = errors.New("flood: source out of range")
+
+// Result is the outcome of one flood.
+type Result struct {
+	// Source is the vertex the wave started from.
+	Source int
+	// Dist[v] is the hop distance from Source to v, or -1 if the wave never
+	// reached v (disconnected topologies time out instead — see Run).
+	Dist []int
+	// Rounds is the measured CONGEST round count, ecc(Source) + 2.
+	Rounds int
+	// Stats is the communication accounting of the run.
+	Stats engine.Stats
+}
+
+// distMsg announces the sender's adopted distance.
+type distMsg struct{ Dist int }
+
+func distBits(n int) int { return engine.TagBits + congest.BitsForID(n) }
+
+// node is the flooding node program: adopt the first announced distance + 1,
+// re-announce once, terminate.
+type node struct {
+	source bool
+	dist   int
+	outbox []congest.Message
+	sent   bool
+}
+
+func (f *node) Init(ctx *congest.Context) {
+	f.source, _ = ctx.Input().(bool)
+	f.dist = -1
+	if f.source {
+		f.dist = 0
+	}
+}
+
+func (f *node) Round(ctx *congest.Context, round int, inbox []congest.Message) ([]congest.Message, bool) {
+	if f.dist == -1 {
+		for i := range inbox {
+			if m, ok := inbox[i].Payload.(distMsg); ok {
+				f.dist = m.Dist + 1
+				break
+			}
+		}
+	}
+	if f.dist == -1 {
+		return nil, false
+	}
+	if f.sent {
+		ctx.SetOutput(f.dist)
+		return nil, true
+	}
+	f.sent = true
+	if f.outbox == nil {
+		f.outbox = congest.BroadcastAll(ctx, distMsg{Dist: f.dist}, distBits(ctx.N()))
+	}
+	return f.outbox, false
+}
+
+// Run floods from source on the runner's network and returns every node's
+// adopted hop distance. The topology must be connected: a node the wave
+// cannot reach never terminates, so a disconnected network runs into the
+// round limit (n+2 by default) and surfaces the backend's round-limit error.
+func Run(r engine.Runner, source int) (*Result, error) {
+	n := r.Size()
+	if source < 0 || source >= n {
+		return nil, fmt.Errorf("%w: %d with n=%d", ErrBadSource, source, n)
+	}
+	before := r.Stats()
+	res, err := r.RunStage(func(*congest.Context) congest.Node { return &node{} },
+		map[int]any{source: true}, n+2)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Source: source,
+		Dist:   make([]int, n),
+		Rounds: res.Rounds,
+		Stats:  r.Stats().Sub(before),
+	}
+	for v := 0; v < n; v++ {
+		d, ok := res.Outputs[v].(int)
+		if !ok {
+			return nil, fmt.Errorf("flood: node %d produced no distance", v)
+		}
+		out.Dist[v] = d
+	}
+	return out, nil
+}

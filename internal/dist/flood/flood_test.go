@@ -1,0 +1,80 @@
+package flood
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"qdc/internal/dist/engine"
+	"qdc/internal/graph"
+)
+
+func TestFloodMatchesSequentialBFS(t *testing.T) {
+	cases := []struct {
+		name   string
+		g      *graph.Graph
+		source int
+	}{
+		{"path16", graph.Path(16), 0},
+		{"path16-mid", graph.Path(16), 7},
+		{"grid6x4", graph.Grid(6, 4), 0},
+		{"single", graph.Path(1), 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := tc.g.BFS(tc.source).Dist
+			local, err := engine.NewLocal(tc.g, 64, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(local, tc.source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(res.Dist, want) {
+				t.Fatalf("distances = %v, want %v", res.Dist, want)
+			}
+			if ecc := tc.g.Eccentricity(tc.source); res.Rounds != ecc+2 {
+				t.Errorf("rounds = %d, want ecc+2 = %d", res.Rounds, ecc+2)
+			}
+
+			par, err := engine.NewParallel(tc.g, 64, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pres, err := Run(par, tc.source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(pres, res) {
+				t.Errorf("parallel result diverged:\nlocal %+v\npar   %+v", res, pres)
+			}
+		})
+	}
+}
+
+func TestFloodBadSource(t *testing.T) {
+	r, err := engine.NewLocal(graph.Path(4), 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []int{-1, 4} {
+		if _, err := Run(r, src); !errors.Is(err, ErrBadSource) {
+			t.Errorf("source %d: err = %v, want ErrBadSource", src, err)
+		}
+	}
+}
+
+func TestFloodDisconnectedTimesOut(t *testing.T) {
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 1)
+	// Vertices 2 and 3 are unreachable; the wave can never terminate there.
+	g.MustAddEdge(2, 3, 1)
+	r, err := engine.NewLocal(g, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(r, 0); err == nil {
+		t.Fatal("expected a round-limit error on a disconnected topology")
+	}
+}

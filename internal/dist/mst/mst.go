@@ -309,7 +309,7 @@ func (m *moeNode) Round(ctx *congest.Context, round int, inbox []congest.Message
 	n := ctx.N()
 	if round == 1 {
 		bits := tagBits + congest.BitsForID(n) + congest.BitsForInt(m.st.Dist)
-		return congest.Broadcast(ctx.Neighbors(), nbrMsg{Label: m.st.Label, Dist: m.st.Dist}, bits), false
+		return congest.BroadcastAll(ctx, nbrMsg{Label: m.st.Label, Dist: m.st.Dist}, bits), false
 	}
 
 	for _, msg := range inbox {

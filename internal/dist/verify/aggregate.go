@@ -97,10 +97,10 @@ func (a *aggNode) Round(ctx *congest.Context, round int, inbox []congest.Message
 	// The root starts the BFS wave in round 1.
 	if round == 1 && ctx.ID() == 0 {
 		a.pending = make(map[int]struct{})
-		for _, v := range ctx.Neighbors() {
+		ctx.ForEachNeighbor(func(v int) {
 			a.pending[v] = struct{}{}
 			out = append(out, congest.NewMessage(v, tokenMsg{Dist: 1}, tokenBits(1)))
-		}
+		})
 	}
 
 	var tokenSenders []int
@@ -142,13 +142,13 @@ func (a *aggNode) Round(ctx *congest.Context, round int, inbox []congest.Message
 				out = append(out, congest.NewMessage(s, childMsg{IsChild: s == a.parent}, childBits))
 			}
 			a.pending = make(map[int]struct{})
-			for _, v := range ctx.Neighbors() {
+			ctx.ForEachNeighbor(func(v int) {
 				if _, dup := sender[v]; dup {
-					continue
+					return
 				}
 				a.pending[v] = struct{}{}
 				out = append(out, congest.NewMessage(v, tokenMsg{Dist: a.dist + 1}, tokenBits(a.dist+1)))
-			}
+			})
 		} else {
 			// Late tokens from same-depth neighbours: decline.
 			for _, s := range tokenSenders {

@@ -23,7 +23,8 @@ var (
 		BackendSimulation: true, BackendQuantum: true,
 	}
 	knownAlgorithms = map[string]bool{
-		AlgVerify: true, AlgMST: true, AlgMSTApprox: true, AlgDisjointness: true,
+		AlgVerify: true, AlgMST: true, AlgMSTApprox: true,
+		AlgDisjointness: true, AlgFlood: true,
 	}
 )
 

@@ -55,6 +55,16 @@ func Compatible(t TopologySpec, algorithm, backend string, bandwidth int) (bool,
 	if backend == BackendQuantum && algorithm != AlgDisjointness {
 		return false, "the quantum backend re-accounts only the disjointness protocol"
 	}
+	if algorithm == AlgFlood {
+		if backend == BackendSimulation {
+			return false, "flood does not run under the simulation backend"
+		}
+		// One distance announcement: tag + a distance that can reach n-1.
+		need := engine.TagBits + congest.BitsForID(lbSizeUpperBound(t))
+		if bandwidth < need {
+			return false, fmt.Sprintf("flood needs %d bits per round, bandwidth is %d", need, bandwidth)
+		}
+	}
 	if algorithm == AlgMST {
 		// Widest exact-MST message: tag + has-flag + two IDs + weight word.
 		need := engine.TagBits + congest.BitsForBool + 2*congest.BitsForID(lbSizeUpperBound(t)) + congest.BitsForWeight
@@ -163,6 +173,38 @@ var matrices = map[string]Matrix{
 		Bandwidths: []int{64, 256},
 		Backends:   []string{BackendLocal, BackendParallel, BackendSimulation, BackendQuantum},
 		Algorithms: []string{AlgVerify, AlgMST, AlgMSTApprox, AlgDisjointness},
+		BaseSeed:   1,
+	},
+	// roundbench is the deterministic companion of the round-loop
+	// microbenchmarks in internal/congest: the same flood workload shapes,
+	// sized for CI, run through the regular scenario pipeline so their
+	// rounds/bits land in the BENCH_*.json snapshots and the trend view.
+	// `qdcbench roundbench -append` folds these records into an existing
+	// snapshot (see cmd/qdcbench and FoldRecords).
+	"roundbench": {
+		Name: "roundbench",
+		Topologies: []TopologySpec{
+			{Family: FamilyPath, Size: 1025},
+			{Family: FamilyGrid, Size: 4096},
+		},
+		Bandwidths: []int{64},
+		Backends:   []string{BackendLocal, BackendParallel},
+		Algorithms: []string{AlgFlood},
+		BaseSeed:   1,
+	},
+	// scale-xl is the 100k+-node sweep the allocation-free round loop
+	// unlocked: flooding on path and grid at n >= 100k, local vs parallel.
+	// It is deliberately absent from quick/default (and from CI) — run it
+	// explicitly with -matrix scale-xl when chasing round-loop throughput.
+	"scale-xl": {
+		Name: "scale-xl",
+		Topologies: []TopologySpec{
+			{Family: FamilyPath, Size: 100_001},
+			{Family: FamilyGrid, Size: 102_400},
+		},
+		Bandwidths: []int{64},
+		Backends:   []string{BackendLocal, BackendParallel},
+		Algorithms: []string{AlgFlood},
 		BaseSeed:   1,
 	},
 	// crossover is the Example 1.1 sweep: disjointness only, local vs

@@ -1,0 +1,126 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"qdc/internal/dist/engine"
+)
+
+func TestFloodScenarioRuns(t *testing.T) {
+	for _, backend := range []string{BackendLocal, BackendParallel} {
+		s := Scenario{
+			Name:      "grid36/flood/" + backend + "/B32",
+			Topology:  TopologySpec{Family: FamilyGrid, Size: 36},
+			Algorithm: AlgFlood,
+			Backend:   backend,
+			Bandwidth: 32,
+			Seed:      7,
+		}
+		rec := RunScenario(s)
+		if rec.Failed() {
+			t.Fatalf("%s: %s %s", backend, rec.Error, rec.Detail)
+		}
+		// A 6x6 grid flooded from a corner: ecc(0) = 10, wave dies out two
+		// rounds later.
+		if rec.Stats.Rounds != 12 {
+			t.Errorf("%s: rounds = %d, want 12", backend, rec.Stats.Rounds)
+		}
+		if !strings.Contains(rec.Detail, "ecc(0)=10") {
+			t.Errorf("%s: detail %q lacks the eccentricity", backend, rec.Detail)
+		}
+	}
+}
+
+func TestFloodCompatibility(t *testing.T) {
+	grid := TopologySpec{Family: FamilyGrid, Size: 4096}
+	if ok, reason := Compatible(grid, AlgFlood, BackendSimulation, 64); ok {
+		t.Error("flood must not run under the simulation backend")
+	} else if !strings.Contains(reason, "simulation") {
+		t.Errorf("unexpected reason %q", reason)
+	}
+	// One announcement needs tag + distance bits; B=8 cannot carry it at
+	// n=4096 (2 + 12 bits) while B=16 can.
+	if ok, _ := Compatible(grid, AlgFlood, BackendLocal, 8); ok {
+		t.Error("flood at n=4096 must not fit in 8 bits per round")
+	}
+	if ok, reason := Compatible(grid, AlgFlood, BackendLocal, 16); !ok {
+		t.Errorf("flood at n=4096 should fit in 16 bits per round: %s", reason)
+	}
+}
+
+func TestScaleXLMatrixExpansion(t *testing.T) {
+	m, ok := LookupMatrix("scale-xl")
+	if !ok {
+		t.Fatal("scale-xl matrix is not registered")
+	}
+	scenarios := m.Expand()
+	// 2 topologies x 1 algorithm x 2 backends x 1 bandwidth, nothing skipped.
+	if len(scenarios) != 4 {
+		t.Fatalf("scale-xl expands to %d scenarios, want 4", len(scenarios))
+	}
+	for _, s := range scenarios {
+		if s.Algorithm != AlgFlood {
+			t.Errorf("scenario %s is not a flood run", s.Name)
+		}
+		if s.Topology.Size < 100_000 {
+			t.Errorf("scenario %s has size %d, scale-xl promises n >= 100k", s.Name, s.Topology.Size)
+		}
+	}
+}
+
+func TestRoundbenchMatrixRuns(t *testing.T) {
+	m, ok := LookupMatrix("roundbench")
+	if !ok {
+		t.Fatal("roundbench matrix is not registered")
+	}
+	scenarios := m.Expand()
+	if len(scenarios) != 4 {
+		t.Fatalf("roundbench expands to %d scenarios, want 4", len(scenarios))
+	}
+	rec := RunScenario(scenarios[0])
+	if rec.Failed() {
+		t.Fatalf("%s: %s %s", rec.Scenario.Name, rec.Error, rec.Detail)
+	}
+	if nps := NodeRoundsPerSec(rec); nps <= 0 {
+		t.Errorf("NodeRoundsPerSec = %g on a live record, want > 0", nps)
+	}
+	rec.WallMillis = 0
+	if nps := NodeRoundsPerSec(rec); nps != 0 {
+		t.Errorf("NodeRoundsPerSec = %g on a canonicalised record, want 0", nps)
+	}
+}
+
+func TestFoldRecords(t *testing.T) {
+	mk := func(name string, rounds int) Record {
+		return Record{
+			Scenario: Scenario{Name: name},
+			Stats:    engine.Stats{Rounds: rounds},
+			OK:       true,
+		}
+	}
+	base := []Record{mk("b", 1), mk("a", 2), mk("c", 3)}
+	updates := []Record{mk("b", 9), mk("d", 4)}
+	out := FoldRecords(base, updates)
+	if len(out) != 4 {
+		t.Fatalf("folded %d records, want 4", len(out))
+	}
+	wantOrder := []string{"a", "b", "c", "d"}
+	wantRounds := []int{2, 9, 3, 4}
+	for i, r := range out {
+		if r.Scenario.Name != wantOrder[i] || r.Stats.Rounds != wantRounds[i] {
+			t.Errorf("out[%d] = %s/%d, want %s/%d",
+				i, r.Scenario.Name, r.Stats.Rounds, wantOrder[i], wantRounds[i])
+		}
+	}
+	if len(base) != 3 || base[0].Stats.Rounds != 1 {
+		t.Error("FoldRecords modified its base input")
+	}
+	// Idempotence: folding the same updates again changes nothing.
+	again := FoldRecords(out, updates)
+	for i := range out {
+		if again[i].Scenario.Name != out[i].Scenario.Name || again[i].Stats.Rounds != out[i].Stats.Rounds {
+			t.Fatalf("second fold diverged at %d", i)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"qdc/internal/dist/disjointness"
 	"qdc/internal/dist/engine"
+	"qdc/internal/dist/flood"
 	"qdc/internal/dist/mst"
 	"qdc/internal/dist/verify"
 	"qdc/internal/graph"
@@ -91,6 +92,8 @@ func runScenario(s Scenario, stepWorkers int, cancel func() bool) (rec Record) {
 		rec.OK, rec.Detail, err = runMST(runner, topo.Graph, 2)
 	case AlgDisjointness:
 		rec.OK, rec.Detail, err = runDisjointness(runner, rng)
+	case AlgFlood:
+		rec.OK, rec.Detail, err = runFlood(runner, topo.Graph)
 	default:
 		err = fmt.Errorf("exp: unknown algorithm %q", s.Algorithm)
 	}
@@ -175,6 +178,31 @@ func runMST(r engine.Runner, g *graph.Graph, alpha float64) (bool, string, error
 	ok := len(res.Tree) == len(ref) && res.OriginalWeight <= bound*(1+1e-9)
 	detail := fmt.Sprintf("tree weight %.1f vs optimum %.1f (bound %.1f)", res.OriginalWeight, refWeight, bound)
 	return ok, detail, nil
+}
+
+// runFlood floods from vertex 0 and checks every node's adopted hop
+// distance against a sequential BFS. The comparison is a plain loop (not
+// reflection) because the scale matrices run this on 100k+-node graphs.
+func runFlood(r engine.Runner, g *graph.Graph) (bool, string, error) {
+	res, err := flood.Run(r, 0)
+	if err != nil {
+		return false, "", err
+	}
+	want := g.BFS(0).Dist
+	mismatches, ecc := 0, 0
+	for v, d := range res.Dist {
+		if d != want[v] {
+			mismatches++
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	detail := fmt.Sprintf("flooded %d nodes, ecc(0)=%d, rounds=%d", len(res.Dist), ecc, res.Rounds)
+	if mismatches > 0 {
+		detail += fmt.Sprintf("; %d distances disagree with BFS", mismatches)
+	}
+	return mismatches == 0, detail, nil
 }
 
 // DisjointnessInputBits is the input size rule of the disjointness

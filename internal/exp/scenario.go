@@ -87,6 +87,11 @@ const (
 	// AlgDisjointness runs the pipelined Example 1.1 Set Disjointness
 	// protocol (FamilyPath only).
 	AlgDisjointness = "disjointness"
+	// AlgFlood runs the BFS flooding primitive from vertex 0 and checks the
+	// adopted distances against a sequential BFS. It is the scale workload:
+	// O(1) messages per edge and rounds equal to the eccentricity, so it
+	// stays affordable on topologies far beyond the other sweeps.
+	AlgFlood = "flood"
 )
 
 // TopologySpec names one concrete network topology of a scenario.

@@ -39,6 +39,18 @@
 //	qdcbench merge -matrix quick -json merged.json s1.jsonl s2.jsonl
 //	qdcbench trend -dir snapshots/
 //
+// Observability rides along any matrix sweep without touching its results:
+// -metrics collects a deterministic per-scenario metrics block (per-round
+// message/bit/qubit histograms) that travels in the JSONL stream but is
+// stripped from canonical -json snapshots, -events appends a JSONL event log
+// of the sweep, -progress prints a heartbeat line for headless CI logs, and
+// -listen serves live endpoints (net/http/pprof, /debug/vars, /vars,
+// /progress) for the duration of the sweep plus an optional -linger window:
+//
+//	qdcbench -matrix default -metrics -jsonl run.jsonl -events events.jsonl
+//	qdcbench -matrix default -progress 30s -listen :8123 -linger 1m
+//	qdcbench trend -dir snapshots/ -json
+//
 // The roundbench subcommand runs the deterministic round-loop benchmark
 // matrix (the flood workloads of internal/congest's BenchmarkRoundLoop*),
 // prints the measured node-rounds/sec, and folds the records into a
@@ -62,9 +74,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -72,6 +87,7 @@ import (
 
 	"qdc"
 	"qdc/internal/exp"
+	"qdc/internal/obs"
 )
 
 func main() {
@@ -94,6 +110,14 @@ type config struct {
 	allowRemoved bool
 	seed         int64
 	list         bool
+
+	// Observability (matrix mode).
+	metrics       bool
+	events        string
+	listen        string
+	linger        time.Duration
+	progressEvery time.Duration
+	slowest       int
 
 	// Table mode.
 	figure     int
@@ -133,6 +157,12 @@ func run(args []string, out io.Writer) error {
 	fs.BoolVar(&c.allowRemoved, "allow-removed", false, "accept scenarios missing from the new run when diffing against -baseline (intentional matrix shrinks)")
 	fs.Int64Var(&c.seed, "seed", 0, "override the matrix base seed (0 keeps the spec's seed)")
 	fs.BoolVar(&c.list, "list", false, "list the registered matrices and exit")
+	fs.BoolVar(&c.metrics, "metrics", false, "collect per-scenario observability metrics (deterministic; stripped from canonical -json snapshots)")
+	fs.StringVar(&c.events, "events", "", "append a JSONL event log of the sweep (sweep_start, one scenario event per record, sweep_done) to this file")
+	fs.StringVar(&c.listen, "listen", "", "serve live sweep endpoints on this address (e.g. :8123): /debug/pprof, /debug/vars, /vars, /progress")
+	fs.DurationVar(&c.linger, "linger", 0, "keep the -listen server up this long after the sweep, so probes can scrape a finished run")
+	fs.DurationVar(&c.progressEvery, "progress", 0, "print a progress heartbeat line at this interval (plus one final line), for headless CI logs")
+	fs.IntVar(&c.slowest, "slowest", 3, "list the K slowest scenarios by wall time in the matrix summary (0 disables)")
 	fs.IntVar(&c.figure, "figure", 0, "regenerate a figure: 2 or 3")
 	fs.StringVar(&c.example, "example", "", "regenerate an example: 1.1")
 	fs.StringVar(&c.experiment, "experiment", "", "run an experiment: sim, server, verify, pipeline")
@@ -224,11 +254,81 @@ func runMatrix(c config, out io.Writer) error {
 		sinks = append(sinks, s)
 	}
 
-	sum, err := exp.Execute(scenarios, exp.ExecOptions{Workers: c.workers, Timeout: c.timeout}, sinks...)
+	status := exp.NewStatus(len(scenarios))
+	var eventLog *obs.EventLog
+	if c.events != "" {
+		if eventLog, err = obs.CreateEventLog(c.events); err != nil {
+			return err
+		}
+		if err := eventLog.Emit("sweep_start", map[string]any{"matrix": label, "scenarios": len(scenarios)}); err != nil {
+			return err
+		}
+		sinks = append(sinks, exp.NewEventSink(eventLog))
+	}
+	var server *http.Server
+	if c.listen != "" {
+		reg := obs.NewRegistry()
+		status.Register(reg)
+		ln, err := net.Listen("tcp", c.listen)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "serving pprof, /vars and /progress on http://%s\n", ln.Addr())
+		server = &http.Server{Handler: obs.NewMux(reg, status.Progress)}
+		go server.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	}
+	heartbeat := func() {
+		fmt.Fprintf(out, "progress: %d/%d done, %d failed, %d in flight, %.0f node-rounds/sec\n",
+			status.Done.Load(), status.Total, status.Failed.Load(), status.InFlight.Load(),
+			status.NodeRoundsPerSec())
+	}
+	var hbStop, hbDone chan struct{}
+	if c.progressEvery > 0 {
+		hbStop, hbDone = make(chan struct{}), make(chan struct{})
+		go func() {
+			defer close(hbDone)
+			tick := time.NewTicker(c.progressEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-hbStop:
+					return
+				case <-tick.C:
+					heartbeat()
+				}
+			}
+		}()
+	}
+
+	sum, err := exp.Execute(scenarios, exp.ExecOptions{Workers: c.workers, Timeout: c.timeout, Metrics: c.metrics, Status: status}, sinks...)
+	if hbStop != nil {
+		// Stop and join the heartbeat goroutine before printing the summary,
+		// so the writes to out never interleave.
+		close(hbStop)
+		<-hbDone
+		heartbeat()
+	}
 	for _, s := range sinks {
 		if cerr := s.Close(); cerr != nil && err == nil {
 			err = cerr
 		}
+	}
+	if eventLog != nil {
+		if eerr := eventLog.Emit("sweep_done", map[string]any{
+			"scenarios": sum.Scenarios, "passed": sum.Passed, "failed": sum.Failed, "wall_ms": sum.WallMillis,
+		}); eerr != nil && err == nil {
+			err = eerr
+		}
+		if cerr := eventLog.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if server != nil {
+		if c.linger > 0 {
+			fmt.Fprintf(out, "lingering %s for live-endpoint scrapes\n", c.linger)
+			time.Sleep(c.linger)
+		}
+		server.Close() //nolint:errcheck // shutting down, nothing to salvage
 	}
 	if err != nil {
 		return err
@@ -237,6 +337,7 @@ func runMatrix(c config, out io.Writer) error {
 	fmt.Fprintf(out, "matrix %s: %d scenarios, %d passed, %d failed (%d errors) in %.0f ms\n",
 		label, sum.Scenarios, sum.Passed, sum.Failed, sum.Errors, sum.WallMillis)
 	printBackendBreakdown(out, collect.Records)
+	printSlowest(out, collect.Records, c.slowest)
 	for _, r := range collect.Records {
 		if r.Failed() {
 			fmt.Fprintf(out, "  FAIL %-40s %s%s\n", r.Scenario.Name, r.Error, r.Detail)
@@ -416,6 +517,7 @@ func runTrend(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("qdcbench trend", flag.ContinueOnError)
 	dir := fs.String("dir", ".", "directory holding BENCH_*.json snapshots")
 	changedOnly := fs.Bool("changed", false, "only print scenarios whose rounds or bits moved")
+	asJSON := fs.Bool("json", false, "emit the report as JSON (snapshots, per-scenario trajectories, vanished list) instead of the table")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -425,6 +527,18 @@ func runTrend(args []string, out io.Writer) error {
 	rep, err := exp.Trend(*dir)
 	if err != nil {
 		return err
+	}
+	if *asJSON {
+		// An explicit wrapper: the vanished set is a method on TrendReport,
+		// and machine consumers should not have to re-derive it.
+		payload := struct {
+			Snapshots []string            `json:"snapshots"`
+			Scenarios []exp.ScenarioTrend `json:"scenarios"`
+			Vanished  []string            `json:"vanished,omitempty"`
+		}{Snapshots: rep.Snapshots, Scenarios: rep.Scenarios, Vanished: rep.Vanished()}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(payload)
 	}
 	fmt.Fprintf(out, "trend over %d snapshots (%s .. %s): %d scenarios\n",
 		len(rep.Snapshots), rep.Snapshots[0], rep.Snapshots[len(rep.Snapshots)-1], len(rep.Scenarios))
@@ -501,6 +615,31 @@ func trajectory(points []exp.TrendPoint, val func(exp.TrendPoint) int64) string 
 		}
 	}
 	return strings.Join(parts, ">")
+}
+
+// printSlowest lists the k scenarios that took the most wall time — the ones
+// to shard, shrink or profile first when a sweep grows slow. Wall time is
+// display-only (host-dependent, never part of a snapshot), so the table is
+// advisory: ties break by name to keep the listing stable on a given host.
+func printSlowest(out io.Writer, records []exp.Record, k int) {
+	if k <= 0 || len(records) == 0 {
+		return
+	}
+	sorted := append([]exp.Record(nil), records...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].WallMillis != sorted[j].WallMillis {
+			return sorted[i].WallMillis > sorted[j].WallMillis
+		}
+		return sorted[i].Scenario.Name < sorted[j].Scenario.Name
+	})
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	fmt.Fprintf(out, "  slowest %d scenarios by wall time:\n", k)
+	for _, r := range sorted[:k] {
+		fmt.Fprintf(out, "    %-44s %10.1f ms %14.0f node-rounds/sec\n",
+			r.Scenario.Name, r.WallMillis, exp.NodeRoundsPerSec(r))
+	}
 }
 
 // printBackendBreakdown rolls the records up into one row per backend so a

@@ -1,0 +1,255 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMatrixObservabilityFlags drives a sweep with every observability flag
+// on: the heartbeat must print a final progress line, the event log must
+// bracket one scenario event per record with sweep_start/sweep_done, the
+// JSONL stream must carry the metrics blocks, and the summary must include
+// the slowest-scenarios table.
+func TestMatrixObservabilityFlags(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeFile(t, dir, "matrix.json", pairSpec)
+	events := filepath.Join(dir, "events.jsonl")
+	jsonl := filepath.Join(dir, "run.jsonl")
+
+	var out bytes.Buffer
+	args := []string{"-matrix", spec, "-metrics", "-events", events, "-jsonl", jsonl, "-progress", "5ms"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("qdcbench %v: %v\n%s", args, err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "progress: 2/2 done, 0 failed, 0 in flight") {
+		t.Errorf("missing final heartbeat line:\n%s", text)
+	}
+	if !strings.Contains(text, "slowest 2 scenarios by wall time:") {
+		t.Errorf("missing slowest table:\n%s", text)
+	}
+
+	evData, err := os.ReadFile(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(evData)), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("event log has %d lines, want sweep_start + 2 scenarios + sweep_done:\n%s", len(lines), evData)
+	}
+	kinds := make([]string, len(lines))
+	for i, line := range lines {
+		var ev struct {
+			Kind string `json:"event"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("event line %d not JSON: %v", i, err)
+		}
+		kinds[i] = ev.Kind
+	}
+	if kinds[0] != "sweep_start" || kinds[1] != "scenario" || kinds[2] != "scenario" || kinds[3] != "sweep_done" {
+		t.Errorf("event kinds = %v", kinds)
+	}
+
+	jlData, err := os.ReadFile(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(jlData, []byte(`"metrics"`)) || !bytes.Contains(jlData, []byte("messages_per_round")) {
+		t.Errorf("JSONL stream lost the metrics blocks:\n%s", jlData)
+	}
+}
+
+// TestSnapshotUnchangedByMetrics pins the acceptance criterion at the CLI
+// level: the canonical -json snapshot of a sweep is byte-identical with and
+// without -metrics.
+func TestSnapshotUnchangedByMetrics(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeFile(t, dir, "matrix.json", pairSpec)
+	plain := filepath.Join(dir, "plain.json")
+	observed := filepath.Join(dir, "observed.json")
+	var out bytes.Buffer
+	if err := run([]string{"-matrix", spec, "-json", plain}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-matrix", spec, "-metrics", "-json", observed}, &out); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := os.ReadFile(plain)
+	b, _ := os.ReadFile(observed)
+	if !bytes.Equal(a, b) {
+		t.Errorf("-metrics changed the canonical snapshot:\n%s\n%s", a, b)
+	}
+	if bytes.Contains(b, []byte("metrics")) {
+		t.Error("canonical snapshot contains a metrics block")
+	}
+}
+
+// TestSlowestDisabled checks -slowest 0 suppresses the table.
+func TestSlowestDisabled(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeFile(t, dir, "matrix.json", pairSpec)
+	var out bytes.Buffer
+	if err := run([]string{"-matrix", spec, "-slowest", "0"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "slowest") {
+		t.Errorf("-slowest 0 still printed the table:\n%s", out.String())
+	}
+}
+
+// syncBuffer is an io.Writer safe for the cross-goroutine writes of the
+// -listen test: the CLI runs on one goroutine while the test polls output.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestListenServesLiveEndpoints starts a sweep with -listen on an ephemeral
+// port and -linger to hold the server past completion, then probes /progress
+// and a pprof endpoint over real HTTP.
+func TestListenServesLiveEndpoints(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeFile(t, dir, "matrix.json", pairSpec)
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-matrix", spec, "-listen", "127.0.0.1:0", "-linger", "3s"}, out)
+	}()
+
+	// The serving line is printed before the sweep starts; poll for it and
+	// extract the bound address.
+	var base string
+	deadline := time.Now().Add(5 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("no serving line within deadline:\n%s", out.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if i := strings.Index(line, "http://"); i >= 0 && strings.Contains(line, "/progress") {
+				base = strings.TrimSpace(line[i:])
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var body bytes.Buffer
+		body.ReadFrom(resp.Body) //nolint:errcheck
+		return resp.StatusCode, body.Bytes()
+	}
+
+	// Poll /progress until the sweep settles (the linger window holds the
+	// server up long enough).
+	var prog map[string]any
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep never settled; last progress: %v", prog)
+		}
+		code, body := get("/progress")
+		if code != 200 {
+			t.Fatalf("/progress status %d", code)
+		}
+		if err := json.Unmarshal(body, &prog); err != nil {
+			t.Fatalf("/progress not JSON: %v\n%s", err, body)
+		}
+		if prog["done"] == float64(2) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if prog["total"] != float64(2) || prog["failed"] != float64(0) {
+		t.Errorf("progress = %v", prog)
+	}
+	if code, body := get("/vars"); code != 200 || !bytes.Contains(body, []byte("scenarios_done")) {
+		t.Errorf("/vars status %d body %s", code, body)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("/debug/pprof/cmdline status %d", code)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+}
+
+// TestTrendJSON checks the machine-readable trend report: snapshots in
+// order, per-scenario first/last, and the vanished list populated when a
+// scenario is absent from the newest snapshot.
+func TestTrendJSON(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeFile(t, dir, "matrix.json", pairSpec)
+	subset := writeFile(t, dir, "subset.json", subsetSpec)
+	snaps := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-matrix", spec, "-json", filepath.Join(snaps, "BENCH_001.json")}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-matrix", subset, "-json", filepath.Join(snaps, "BENCH_002.json")}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"trend", "-dir", snaps, "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Snapshots []string `json:"snapshots"`
+		Scenarios []struct {
+			Name   string `json:"name"`
+			First  string `json:"first"`
+			Last   string `json:"last"`
+			Points []struct {
+				Snapshot string `json:"snapshot"`
+				Rounds   int    `json:"rounds"`
+			} `json:"points"`
+		} `json:"scenarios"`
+		Vanished []string `json:"vanished"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("trend -json output not JSON: %v\n%s", err, out.String())
+	}
+	if len(rep.Snapshots) != 2 || rep.Snapshots[0] != "BENCH_001.json" {
+		t.Errorf("snapshots = %v", rep.Snapshots)
+	}
+	if len(rep.Scenarios) != 2 {
+		t.Fatalf("got %d scenarios, want 2:\n%s", len(rep.Scenarios), out.String())
+	}
+	if len(rep.Vanished) != 1 || rep.Vanished[0] != "cycle4/verify/local/B32" {
+		t.Errorf("vanished = %v", rep.Vanished)
+	}
+	for _, s := range rep.Scenarios {
+		if s.Name == "path5/verify/local/B32" {
+			if s.First != "BENCH_001.json" || s.Last != "BENCH_002.json" || len(s.Points) != 2 {
+				t.Errorf("surviving scenario trend = %+v", s)
+			}
+			if s.Points[0].Rounds <= 0 {
+				t.Errorf("trend point carries no rounds: %+v", s.Points[0])
+			}
+		}
+	}
+}

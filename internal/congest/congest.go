@@ -258,8 +258,11 @@ func (nw *Network) Bandwidth() int { return nw.bandwidth }
 func (nw *Network) Size() int { return nw.topo.N() }
 
 // RoundTraffic splits one round's wire traffic into classical bits and
-// qubits (messages sent with Message.Quantum set).
+// qubits (messages sent with Message.Quantum set), plus the number of
+// messages delivered — the per-round feed of the observability layer's
+// histograms (internal/obs via engine.StageObserver).
 type RoundTraffic struct {
+	Messages      int
 	ClassicalBits int64
 	QuantumBits   int64
 }
@@ -296,12 +299,16 @@ type Options struct {
 	// Zero means a default of 64*n + 64 rounds.
 	MaxRounds int
 	// Trace, if non-nil, is invoked for every accepted message with the
-	// round in which it was sent, in deterministic sender-ID order. It is
-	// used by the Simulation Theorem engine (internal/simulation) to
-	// re-account each message to the party that owns its sender. A non-nil
-	// Trace forces the merge half of each round onto the sequential path
-	// (stepping still parallelises under Workers), preserving the callback
-	// order.
+	// round in which it was sent, in deterministic sender-ID order (outbox
+	// order within a sender). It is used by the Simulation Theorem engine
+	// (internal/simulation) to re-account each message to the party that
+	// owns its sender, and by the Grover backend to measure stream volume.
+	// Tracing no longer forces the sequential merge: under Workers > 1 the
+	// validate phase records accepted messages into per-worker buffers and
+	// the round's barrier folds them back into sender-ID order before the
+	// callback runs, so the observed event stream is identical to a
+	// sequential run's (the callback itself always executes on one
+	// goroutine, after validation, never concurrently).
 	Trace func(round int, msg Message)
 	// Workers selects how many goroutines step nodes and merge traffic
 	// within each round. Values <= 1 run sequentially. Any value produces
@@ -398,6 +405,15 @@ type runState struct {
 	validateJob func(w int)
 	sizeJob     func(w int)
 	scatterJob  func(w int)
+	// The parallel round tracer (Options.Trace with Workers > 1): each
+	// worker appends the messages it accepts during the validate phase to
+	// its own reused buffer. A worker's successive claims have strictly
+	// increasing node ranges and every sender is claimed by exactly one
+	// worker, so each buffer is sorted by sender ID and the buffers
+	// partition the round's senders — emitTrace merges them back into the
+	// exact sequential callback order after the barrier.
+	traceBufs [][]Message
+	traceIdx  []int
 	// asymmetric marks a degenerate Topology whose neighbour lists are not
 	// symmetric; the reverse edge index is unusable then, so the merge
 	// stays on the sequential path.
@@ -486,6 +502,10 @@ func newRunState(nw *Network, factory NodeFactory, opts Options) (*runState, err
 		st.validateJob = st.validateWorker
 		st.sizeJob = st.sizeWorker
 		st.scatterJob = st.scatterWorker
+		if opts.Trace != nil {
+			st.traceBufs = make([][]Message, workers)
+			st.traceIdx = make([]int, workers)
+		}
 	}
 	return st, nil
 }
@@ -570,12 +590,13 @@ func (st *runState) stepOne(v int) (panicked any) {
 }
 
 // merge validates, accounts and delivers the round's traffic. The parallel
-// path requires the reverse edge index and an unobserved message order, so
-// Trace and asymmetric topologies stay sequential.
+// path requires the reverse edge index, so asymmetric topologies stay
+// sequential; tracing runs on either path (see the parallel round tracer in
+// parallel.go).
 func (st *runState) merge(round int) error {
 	st.allDone = true
 	st.anyMessage = false
-	if st.pool == nil || st.opts.Trace != nil || st.asymmetric {
+	if st.pool == nil || st.asymmetric {
 		for v := 0; v < st.n; v++ {
 			st.next[v] = st.next[v][:0]
 		}
@@ -621,6 +642,7 @@ func (st *runState) mergeSeq(round int) error {
 			st.edgeBits[slot] = int32(total)
 			st.edgeMsgs[slot]++
 			st.next[msg.To] = append(st.next[msg.To], msg)
+			traffic.Messages++
 			res.TotalMessages++
 			res.TotalBits += int64(msg.Bits)
 			if msg.Quantum {

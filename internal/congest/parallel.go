@@ -142,18 +142,25 @@ func (st *runState) mergePar(round int) error {
 	for w := range st.scratch {
 		st.scratch[w].reset()
 	}
+	for w := range st.traceBufs {
+		st.traceBufs[w] = st.traceBufs[w][:0]
+	}
 	st.mergeFailed.Store(false)
 	st.nextNode.Store(0)
 	st.pool.run(st.validateJob)
 
 	if st.mergeFailed.Load() {
-		// Cold path: wipe all staged state and re-run the round's merge
-		// sequentially for byte-identical partial results and error.
+		// Cold path: wipe all staged state — including any half-recorded
+		// trace buffers — and re-run the round's merge sequentially for
+		// byte-identical partial results, trace stream and error.
 		for i := range st.edgeBits {
 			st.edgeBits[i] = 0
 			st.edgeMsgs[i] = 0
 		}
 		st.touched = st.touched[:0]
+		for w := range st.traceBufs {
+			st.traceBufs[w] = st.traceBufs[w][:0]
+		}
 		for v := 0; v < st.n; v++ {
 			st.next[v] = st.next[v][:0]
 		}
@@ -175,6 +182,7 @@ func (st *runState) mergePar(round int) error {
 		res.TotalMessages += sc.totalMessages
 		res.TotalBits += sc.totalBits
 		res.QuantumBits += sc.quantumBits
+		traffic.Messages += sc.totalMessages
 		traffic.QuantumBits += sc.quantumBits
 		traffic.ClassicalBits += sc.classicalBits
 		if sc.maxEdgeBits > res.MaxEdgeBitsPerRound {
@@ -183,6 +191,9 @@ func (st *runState) mergePar(round int) error {
 	}
 	if st.opts.PerRound {
 		res.PerRound = append(res.PerRound, traffic)
+	}
+	if st.traceBufs != nil {
+		st.emitTrace(round)
 	}
 
 	st.nextNode.Store(0)
@@ -229,6 +240,12 @@ func (st *runState) validateWorker(w int) {
 				}
 				st.edgeBits[slot] = int32(total)
 				st.edgeMsgs[slot]++
+				if st.traceBufs != nil {
+					m := out[i]
+					m.From = v
+					m.Bits = bits
+					st.traceBufs[w] = append(st.traceBufs[w], m)
+				}
 				sc.totalMessages++
 				sc.totalBits += int64(bits)
 				if out[i].Quantum {
@@ -272,6 +289,43 @@ func (st *runState) sizeWorker(int) {
 			}
 			st.next[u] = buf
 		}
+	}
+}
+
+// emitTrace replays the round's accepted messages to Options.Trace in the
+// exact order the sequential merge emits them: ascending sender ID, outbox
+// order within a sender. Each per-worker buffer is sorted by sender ID and
+// the buffers partition the round's senders (claims hand each worker
+// strictly increasing, disjoint node ranges), so a k-way merge on the head
+// sender — draining each sender's contiguous run in one go — reproduces the
+// sequential stream exactly. It runs on one goroutine, after the validate
+// barrier, and allocates nothing.
+func (st *runState) emitTrace(round int) {
+	idx := st.traceIdx
+	for w := range idx {
+		idx[w] = 0
+	}
+	trace := st.opts.Trace
+	for {
+		best, bestFrom := -1, 0
+		for w := range st.traceBufs {
+			if idx[w] >= len(st.traceBufs[w]) {
+				continue
+			}
+			if from := st.traceBufs[w][idx[w]].From; best < 0 || from < bestFrom {
+				best, bestFrom = w, from
+			}
+		}
+		if best < 0 {
+			return
+		}
+		buf := st.traceBufs[best]
+		i := idx[best]
+		for i < len(buf) && buf[i].From == bestFrom {
+			trace(round, buf[i])
+			i++
+		}
+		idx[best] = i
 	}
 }
 

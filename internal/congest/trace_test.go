@@ -1,0 +1,206 @@
+package congest
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"qdc/internal/graph"
+)
+
+// traceEvent is one Trace callback invocation, captured for comparison.
+type traceEvent struct {
+	Round int
+	Msg   Message
+}
+
+// collectTrace runs the hybrid workload with a recording Trace callback and
+// returns the full event stream plus the run's Result.
+func collectTrace(t *testing.T, workers int) ([]traceEvent, *Result) {
+	t.Helper()
+	nw, err := NewNetwork(ring(53), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.SetSeed(17)
+	var events []traceEvent
+	res, err := nw.Run(func(*Context) Node { return &hybridNode{rounds: 24} },
+		Options{
+			Workers:  workers,
+			PerRound: true,
+			Trace: func(round int, msg Message) {
+				events = append(events, traceEvent{Round: round, Msg: msg})
+			},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events, res
+}
+
+// TestTraceIdenticalAcrossWorkers pins the parallel round tracer's contract:
+// the event stream observed through Options.Trace is identical — same
+// events, same order — whether the merge runs sequentially or on a worker
+// pool, and enabling tracing does not perturb the Result.
+func TestTraceIdenticalAcrossWorkers(t *testing.T) {
+	seqEvents, seqRes := collectTrace(t, 0)
+	if len(seqEvents) == 0 {
+		t.Fatal("workload produced no trace events")
+	}
+	if len(seqEvents) != seqRes.TotalMessages {
+		t.Fatalf("trace saw %d events for %d delivered messages", len(seqEvents), seqRes.TotalMessages)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		events, res := collectTrace(t, workers)
+		if !reflect.DeepEqual(seqEvents, events) {
+			for i := range seqEvents {
+				if i < len(events) && !reflect.DeepEqual(seqEvents[i], events[i]) {
+					t.Fatalf("Workers=%d: event %d diverged:\nseq %+v\ngot %+v",
+						workers, i, seqEvents[i], events[i])
+				}
+			}
+			t.Fatalf("Workers=%d: event stream diverged (%d vs %d events)",
+				workers, len(seqEvents), len(events))
+		}
+		if !reflect.DeepEqual(seqRes, res) {
+			t.Errorf("Workers=%d: traced Result diverged from sequential", workers)
+		}
+	}
+}
+
+// TestTraceDoesNotForceSequentialMerge is the white-box check that the old
+// restriction is really gone: a traced run with Workers > 1 arms the
+// per-worker trace buffers and keeps the pooled merge path.
+func TestTraceDoesNotForceSequentialMerge(t *testing.T) {
+	nw, err := NewNetwork(ring(16), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := newRunState(nw, func(*Context) Node { return &hybridNode{rounds: 2} },
+		Options{Workers: 4, Trace: func(int, Message) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.close()
+	if st.pool == nil {
+		t.Fatal("Workers=4 did not build a worker pool")
+	}
+	if st.asymmetric {
+		t.Fatal("ring topology flagged asymmetric")
+	}
+	if len(st.traceBufs) != 4 || len(st.traceIdx) != 4 {
+		t.Fatalf("trace buffers not armed: %d bufs, %d idx", len(st.traceBufs), len(st.traceIdx))
+	}
+}
+
+// TestEmitTraceFoldOrder unit-tests the k-way fold in isolation: buffers
+// sorted by sender and partitioning the senders — however the senders are
+// spread across workers — must come out in ascending sender ID with outbox
+// order preserved within a sender.
+func TestEmitTraceFoldOrder(t *testing.T) {
+	var got []traceEvent
+	st := &runState{
+		opts: Options{Trace: func(round int, msg Message) {
+			got = append(got, traceEvent{Round: round, Msg: msg})
+		}},
+		traceBufs: [][]Message{
+			{{From: 1, To: 0, Bits: 1}, {From: 1, To: 2, Bits: 2}, {From: 5, To: 4, Bits: 3}},
+			{},
+			{{From: 0, To: 1, Bits: 4}, {From: 6, To: 5, Bits: 5}},
+			{{From: 3, To: 2, Bits: 6}, {From: 3, To: 4, Bits: 7}},
+		},
+		traceIdx: []int{99, 99, 99, 99}, // stale from a previous round; must be reset
+	}
+	st.emitTrace(7)
+	want := []traceEvent{
+		{7, Message{From: 0, To: 1, Bits: 4}},
+		{7, Message{From: 1, To: 0, Bits: 1}},
+		{7, Message{From: 1, To: 2, Bits: 2}},
+		{7, Message{From: 3, To: 2, Bits: 6}},
+		{7, Message{From: 3, To: 4, Bits: 7}},
+		{7, Message{From: 5, To: 4, Bits: 3}},
+		{7, Message{From: 6, To: 5, Bits: 5}},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("fold order:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestTraceErrorPathsIdenticalAcrossWorkers extends the cold-path guarantee
+// to the tracer: when a round fails validation the parallel merge discards
+// its half-recorded buffers and replays sequentially, so the traced event
+// stream up to and including the failing round matches the sequential run
+// byte for byte.
+func TestTraceErrorPathsIdenticalAcrossWorkers(t *testing.T) {
+	for _, overrun := range []bool{false, true} {
+		run := func(workers int) ([]traceEvent, error) {
+			nw, err := NewNetwork(ring(32), 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var events []traceEvent
+			_, err = nw.Run(func(ctx *Context) Node {
+				return &roguePeer{rogue: ctx.ID() == 7, overrun: overrun}
+			}, Options{
+				Workers: workers,
+				Trace: func(round int, msg Message) {
+					events = append(events, traceEvent{Round: round, Msg: msg})
+				},
+			})
+			return events, err
+		}
+		seqEvents, seqErr := run(0)
+		if seqErr == nil {
+			t.Fatalf("overrun=%v: expected a validation error", overrun)
+		}
+		if len(seqEvents) == 0 {
+			t.Fatalf("overrun=%v: no events before the violation", overrun)
+		}
+		for _, workers := range []int{1, 4} {
+			events, err := run(workers)
+			if err == nil || err.Error() != seqErr.Error() {
+				t.Errorf("overrun=%v Workers=%d: error %v, want %v", overrun, workers, err, seqErr)
+			}
+			if !reflect.DeepEqual(seqEvents, events) {
+				t.Errorf("overrun=%v Workers=%d: error-path trace diverged (%d vs %d events)",
+					overrun, workers, len(seqEvents), len(events))
+			}
+		}
+	}
+}
+
+// TestTraceSteadyStateAllocFree extends the steady-state guarantee to traced
+// runs: once the per-worker trace buffers have grown to the workload's
+// per-round traffic, extra rounds allocate nothing on either merge path.
+func TestTraceSteadyStateAllocFree(t *testing.T) {
+	topo := graph.Grid(24, 24)
+	const short, long = 8, 104
+	measure := func(workers, rounds int) float64 {
+		nw, err := NewNetwork(topo, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		factory := func(*Context) Node { return &benchFloodNode{rounds: rounds} }
+		opts := Options{
+			MaxRounds: rounds + 2,
+			Workers:   workers,
+			Trace:     func(int, Message) {},
+		}
+		return testing.AllocsPerRun(5, func() {
+			if _, err := nw.Run(factory, opts); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			base := measure(workers, short)
+			grown := measure(workers, long)
+			perRound := (grown - base) / float64(long-short)
+			if perRound > 0.5 {
+				t.Errorf("traced steady state allocates %.2f objects/round (short %.0f, long %.0f); want 0",
+					perRound, base, grown)
+			}
+		})
+	}
+}

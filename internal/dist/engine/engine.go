@@ -99,6 +99,22 @@ func (s Stats) Sub(prev Stats) Stats {
 	}
 }
 
+// StageObserver receives every stage's full congest.Result immediately after
+// the stage completes (successfully or not — error stages still report their
+// partial result). It is the hook the observability layer (internal/obs via
+// internal/exp) uses to feed per-round traffic histograms without touching
+// the accounting: backends with an observer installed record the per-round
+// classical/quantum split (congest.Options.PerRound), which changes no field
+// the Stats fold reads, so observed and unobserved runs produce identical
+// Stats and outputs. Observers run on the stage's goroutine; a nil observer
+// costs nothing.
+type StageObserver interface {
+	// StageDone is called once per completed stage with the stage's result.
+	// The Result (including PerRound) is owned by the caller afterwards only
+	// for reading; observers must not retain or mutate it past the call.
+	StageDone(res *congest.Result)
+}
+
 // Runner executes CONGEST node programs stage by stage on some backend.
 //
 // A stage is one complete run of a node program on every node of the
@@ -123,6 +139,7 @@ type Runner interface {
 type Local struct {
 	net    *congest.Network
 	cancel func() bool
+	obs    StageObserver
 	stats  Stats
 }
 
@@ -144,18 +161,28 @@ func NewLocal(topo congest.Topology, bandwidth int, seed int64) (*Local, error) 
 // subsequent stages; see congest.Options.Cancel.
 func (l *Local) SetCancel(cancel func() bool) { l.cancel = cancel }
 
+// SetObserver installs a per-stage observer for subsequent stages; nil
+// removes it. See StageObserver.
+func (l *Local) SetObserver(obs StageObserver) { l.obs = obs }
+
 // RunStage implements Runner.
 func (l *Local) RunStage(factory congest.NodeFactory, inputs map[int]any, maxRounds int) (*congest.Result, error) {
-	return runNetworkStage(l.net, &l.stats, factory, inputs, congest.Options{MaxRounds: maxRounds, Cancel: l.cancel})
+	return runNetworkStage(l.net, &l.stats, l.obs, factory, inputs, congest.Options{MaxRounds: maxRounds, Cancel: l.cancel})
 }
 
 // runNetworkStage installs the inputs, runs one stage on a congest.Network
 // and folds the result into the runner's accumulated stats. It is shared by
-// the Local and Parallel backends, which differ only in congest.Options.
-func runNetworkStage(net *congest.Network, stats *Stats, factory congest.NodeFactory, inputs map[int]any, opts congest.Options) (*congest.Result, error) {
+// the Local, Parallel and Quantum backends, which differ only in
+// congest.Options. With an observer installed the stage also records the
+// per-round traffic split and hands the result to the observer — including
+// partial results of failed stages.
+func runNetworkStage(net *congest.Network, stats *Stats, obs StageObserver, factory congest.NodeFactory, inputs map[int]any, opts congest.Options) (*congest.Result, error) {
 	net.ClearInputs()
 	for id, in := range inputs {
 		net.SetInput(id, in)
+	}
+	if obs != nil {
+		opts.PerRound = true
 	}
 	res, err := net.Run(factory, opts)
 	if res != nil {
@@ -164,6 +191,9 @@ func runNetworkStage(net *congest.Network, stats *Stats, factory congest.NodeFac
 		stats.Messages += res.TotalMessages
 		stats.Bits += res.TotalBits
 		stats.QuantumBits += res.QuantumBits
+		if obs != nil {
+			obs.StageDone(res)
+		}
 	}
 	if err != nil {
 		return res, fmt.Errorf("engine: stage %d: %w", stats.Stages, err)

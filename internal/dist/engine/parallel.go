@@ -21,6 +21,7 @@ type Parallel struct {
 	net     *congest.Network
 	workers int
 	cancel  func() bool
+	obs     StageObserver
 	stats   Stats
 }
 
@@ -48,9 +49,13 @@ func (p *Parallel) SetWorkers(workers int) { p.workers = workers }
 // subsequent stages; see congest.Options.Cancel.
 func (p *Parallel) SetCancel(cancel func() bool) { p.cancel = cancel }
 
+// SetObserver installs a per-stage observer for subsequent stages; nil
+// removes it. See StageObserver.
+func (p *Parallel) SetObserver(obs StageObserver) { p.obs = obs }
+
 // RunStage implements Runner.
 func (p *Parallel) RunStage(factory congest.NodeFactory, inputs map[int]any, maxRounds int) (*congest.Result, error) {
-	return runNetworkStage(p.net, &p.stats, factory, inputs, congest.Options{MaxRounds: maxRounds, Workers: p.workers, Cancel: p.cancel})
+	return runNetworkStage(p.net, &p.stats, p.obs, factory, inputs, congest.Options{MaxRounds: maxRounds, Workers: p.workers, Cancel: p.cancel})
 }
 
 // Bandwidth implements Runner.

@@ -32,6 +32,7 @@ type Quantum struct {
 	net      *congest.Network
 	diameter int
 	cancel   func() bool
+	obs      StageObserver
 
 	stats     Stats // quantum-accounted, returned by Stats()
 	classical Stats // observed plain CONGEST cost of the same stages
@@ -73,6 +74,12 @@ func NewQuantum(topo congest.Topology, bandwidth int, seed int64) (*Quantum, err
 // subsequent stages; see congest.Options.Cancel.
 func (q *Quantum) SetCancel(cancel func() bool) { q.cancel = cancel }
 
+// SetObserver installs a per-stage observer for subsequent stages; nil
+// removes it. The observer sees the *classical* execution's Result (the one
+// whose per-round traffic actually exists) — the Grover re-accounting has no
+// round-by-round trace, only the per-stage totals in Stats().
+func (q *Quantum) SetObserver(obs StageObserver) { q.obs = obs }
+
 // RunStage implements Runner. The stage runs classically (identical outputs
 // to Local for the same topology, bandwidth and seed); its cost is folded
 // into the quantum-accounted Stats via the Grover substitution.
@@ -82,7 +89,7 @@ func (q *Quantum) RunStage(factory congest.NodeFactory, inputs map[int]any, maxR
 	trace := func(round int, msg congest.Message) {
 		edgeBits[directed{from: msg.From, to: msg.To}] += int64(msg.Bits)
 	}
-	res, err := runNetworkStage(q.net, &q.classical, factory, inputs, congest.Options{MaxRounds: maxRounds, Trace: trace, Cancel: q.cancel})
+	res, err := runNetworkStage(q.net, &q.classical, q.obs, factory, inputs, congest.Options{MaxRounds: maxRounds, Trace: trace, Cancel: q.cancel})
 	if res != nil {
 		var stream int64
 		for _, bits := range edgeBits {

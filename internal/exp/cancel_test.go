@@ -21,7 +21,7 @@ func TestRunScenarioCancelled(t *testing.T) {
 			Bandwidth: 4,
 			Seed:      5,
 		}
-		rec := runScenario(s, 1, func() bool { return true })
+		rec := runScenario(s, 1, func() bool { return true }, false)
 		if rec.Error == "" || !strings.Contains(rec.Error, congest.ErrCancelled.Error()) {
 			t.Errorf("%s: record = %+v, want a %q error", backend, rec, congest.ErrCancelled)
 		}

@@ -20,6 +20,14 @@ type ExecOptions struct {
 	// Timeout is the per-scenario wall-clock budget; values <= 0 select
 	// DefaultTimeout.
 	Timeout time.Duration
+	// Metrics opts every scenario into the observability collector: each
+	// record carries a ScenarioMetrics block (deterministic, stripped from
+	// canonical snapshots). Off by default — disabled metrics cost nothing.
+	Metrics bool
+	// Status, if non-nil, receives live sweep counters (scenarios done,
+	// failed, in flight, node-rounds) as scenarios start and finish; the
+	// -listen endpoints and the -progress heartbeat read it concurrently.
+	Status *Status
 	// run overrides the scenario runner in tests. The cancel poll reports
 	// whether the scenario's timeout has fired; real runners forward it to
 	// congest.Options.Cancel so a timed-out simulation stops at its next
@@ -72,7 +80,7 @@ func Execute(scenarios []Scenario, opts ExecOptions, sinks ...Sink) (Summary, er
 		if stepWorkers < 1 {
 			stepWorkers = 1
 		}
-		run = func(s Scenario, cancel func() bool) Record { return runScenario(s, stepWorkers, cancel) }
+		run = func(s Scenario, cancel func() bool) Record { return runScenario(s, stepWorkers, cancel, opts.Metrics) }
 	}
 
 	start := time.Now()
@@ -85,7 +93,10 @@ func Execute(scenarios []Scenario, opts ExecOptions, sinks ...Sink) (Summary, er
 		go func() {
 			defer wg.Done()
 			for s := range jobs {
-				results <- runIsolated(s, timeout, run)
+				opts.Status.ScenarioStarted()
+				rec := runIsolated(s, timeout, run)
+				opts.Status.ScenarioDone(rec)
+				results <- rec
 			}
 		}()
 	}

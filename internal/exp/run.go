@@ -31,6 +31,12 @@ type Record struct {
 	Detail string `json:"detail,omitempty"`
 	// Error is the failure, panic or timeout message of an unsuccessful run.
 	Error string `json:"error,omitempty"`
+	// Metrics is the optional observability block, populated when the run
+	// was collected with metrics enabled (ExecOptions.Metrics, qdcbench
+	// -metrics). Its content is deterministic, but canonical snapshots strip
+	// it (see JSONSink) so baseline files are byte-identical with metrics on
+	// or off.
+	Metrics *ScenarioMetrics `json:"metrics,omitempty"`
 }
 
 // Failed reports whether the record represents an unusable or wrong run.
@@ -40,7 +46,7 @@ func (r Record) Failed() bool { return r.Error != "" || !r.OK }
 // program panics surface as the record's Error. Cost accounting, inputs and
 // random choices all derive from the scenario seed, so equal scenarios
 // produce equal records (modulo WallMillis).
-func RunScenario(s Scenario) Record { return runScenario(s, 0, nil) }
+func RunScenario(s Scenario) Record { return runScenario(s, 0, nil, false) }
 
 // runScenario is RunScenario with an explicit stepping-goroutine budget for
 // the parallel backend and an optional cancellation poll. stepWorkers <= 0
@@ -50,8 +56,11 @@ func RunScenario(s Scenario) Record { return runScenario(s, 0, nil) }
 // it. A non-nil cancel is polled by the backend at every round boundary, so
 // a timed-out run stops simulating instead of burning CPU until the round
 // limit; a cancelled run surfaces as a Record with congest.ErrCancelled in
-// its Error.
-func runScenario(s Scenario, stepWorkers int, cancel func() bool) (rec Record) {
+// its Error. With metrics set, an engine.StageObserver is installed on the
+// backend and the collected ScenarioMetrics block rides on the record;
+// everything else about the record is unchanged (observation only turns on
+// congest's PerRound recording, which no Stats field reads).
+func runScenario(s Scenario, stepWorkers int, cancel func() bool, metrics bool) (rec Record) {
 	rec.Scenario = s
 	start := time.Now()
 	defer func() {
@@ -82,6 +91,18 @@ func runScenario(s Scenario, stepWorkers int, cancel func() bool) (rec Record) {
 			c.SetCancel(cancel)
 		}
 	}
+	var collector *metricsCollector
+	if metrics {
+		if o, ok := runner.(interface{ SetObserver(engine.StageObserver) }); ok {
+			collector = &metricsCollector{}
+			o.SetObserver(collector)
+		}
+	}
+	defer func() {
+		if collector != nil {
+			rec.Metrics = collector.metrics()
+		}
+	}()
 
 	switch s.Algorithm {
 	case AlgVerify:

@@ -123,6 +123,10 @@ func (s *JSONSink) Close() error {
 	sort.Slice(s.records, func(i, j int) bool { return s.records[i].Scenario.Name < s.records[j].Scenario.Name })
 	for i := range s.records {
 		s.records[i].WallMillis = 0
+		// Metrics are deterministic but optional: stripping them keeps a
+		// snapshot's bytes identical whether or not the sweep collected
+		// metrics, so baseline diffs never churn on observability settings.
+		s.records[i].Metrics = nil
 	}
 	enc := json.NewEncoder(s.w)
 	enc.SetIndent("", "  ")

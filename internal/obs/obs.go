@@ -1,0 +1,243 @@
+// Package obs is the repository's deterministic, low-overhead observability
+// core: counters, gauges and power-of-two histograms with snapshot
+// semantics, a named-variable registry with an expvar-style HTTP view, a
+// JSONL event log, and the HTTP mux that serves pprof and the live sweep
+// endpoints (`qdcbench -listen`).
+//
+// Two properties shape every type here:
+//
+//   - Determinism where the data is deterministic. Histograms and counters
+//     fed with deterministic quantities (per-round message counts, bits)
+//     snapshot to values that are a pure function of those quantities — no
+//     timestamps, no map iteration order, no host-dependent fields — so a
+//     metrics block can ride inside an exp.Record without breaking the
+//     byte-identity guarantees of the results pipeline. Wall-clock-derived
+//     rates live only in live views (Registry, /progress), never in
+//     snapshots that claim determinism.
+//
+//   - Zero cost when off. Nothing in this package is consulted by the
+//     congest round loop or the experiment executor unless a caller opts in
+//     (engine.StageObserver, exp.ExecOptions.Metrics, qdcbench -listen);
+//     disabled observability preserves the hot path's 0 allocs/round.
+package obs
+
+import (
+	"encoding/json"
+	"math/bits"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (e.g. scenarios in flight).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by d (negative to decrease).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// histBuckets is the number of power-of-two histogram buckets: bucket 0
+// holds the value 0 and bucket i>0 holds values with bit length i, i.e.
+// [2^(i-1), 2^i). 64-bit values cannot exceed bucket 64.
+const histBuckets = 65
+
+// Histogram is a fixed-bucket power-of-two histogram of non-negative int64
+// observations. Bucketing by bit length keeps Observe branch-free and the
+// snapshot deterministic: equal observation multisets yield equal
+// snapshots, regardless of observation order or concurrency. Negative
+// observations are clamped to zero. The zero value is ready to use.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	minPlus alwaysPositiveMin
+	buckets [histBuckets]atomic.Int64
+}
+
+// alwaysPositiveMin tracks the minimum of non-negative observations; the
+// value is stored shifted by one so the zero value means "no observations".
+type alwaysPositiveMin struct{ v atomic.Int64 }
+
+func (m *alwaysPositiveMin) observe(v int64) {
+	for {
+		cur := m.v.Load()
+		if cur != 0 && cur <= v+1 {
+			return
+		}
+		if m.v.CompareAndSwap(cur, v+1) {
+			return
+		}
+	}
+}
+
+func (m *alwaysPositiveMin) load() int64 {
+	if v := m.v.Load(); v != 0 {
+		return v - 1
+	}
+	return 0
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if cur >= v {
+			break
+		}
+		if h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.minPlus.observe(v)
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations so far.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Bucket is one non-empty histogram bucket: Count observations fell in
+// [Lo, Hi] inclusive.
+type Bucket struct {
+	Lo    int64 `json:"lo"`
+	Hi    int64 `json:"hi"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is the point-in-time view of a Histogram. It is plain
+// data with a canonical JSON form: buckets ascend and empty buckets are
+// omitted, so two histograms fed the same multiset of values marshal to
+// identical bytes.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Min     int64    `json:"min"`
+	Max     int64    `json:"max"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot returns the current state as plain data. Concurrent Observe
+// calls may or may not be included; callers wanting exact totals snapshot
+// after their recording phase completes.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	snap := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Min:   h.minPlus.load(),
+		Max:   h.max.Load(),
+	}
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		b := Bucket{Count: n}
+		if i > 0 {
+			b.Lo = int64(1) << (i - 1)
+			b.Hi = (int64(1) << i) - 1
+		}
+		snap.Buckets = append(snap.Buckets, b)
+	}
+	return snap
+}
+
+// Registry is a named set of live variables, each backed by a function
+// returning its current value — the expvar pattern without expvar's
+// process-global namespace, so tests and multiple sweeps can own
+// independent registries. Registry is an http.Handler serving the sorted
+// name → value map as indented JSON (mounted at /vars by NewMux).
+type Registry struct {
+	mu   sync.Mutex
+	vars map[string]func() any
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{vars: make(map[string]func() any)} }
+
+// Publish registers f as the provider of name's current value, replacing
+// any previous provider of the same name.
+func (r *Registry) Publish(name string, f func() any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.vars[name] = f
+}
+
+// PublishCounter publishes a counter's live value under name.
+func (r *Registry) PublishCounter(name string, c *Counter) {
+	r.Publish(name, func() any { return c.Load() })
+}
+
+// PublishGauge publishes a gauge's live value under name.
+func (r *Registry) PublishGauge(name string, g *Gauge) {
+	r.Publish(name, func() any { return g.Load() })
+}
+
+// Snapshot evaluates every provider and returns the name → value map.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	fs := make(map[string]func() any, len(r.vars))
+	for name, f := range r.vars {
+		fs[name] = f
+	}
+	r.mu.Unlock()
+	// Providers run outside the lock: one may itself publish (or serve a
+	// slow snapshot) without deadlocking the registry.
+	out := make(map[string]any, len(fs))
+	for name, f := range fs {
+		out[name] = f()
+	}
+	return out
+}
+
+// ServeHTTP implements http.Handler: the snapshot as indented JSON with
+// keys in sorted order.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ordered := make([]struct {
+		Name  string `json:"name"`
+		Value any    `json:"value"`
+	}, len(names))
+	for i, name := range names {
+		ordered[i].Name = name
+		ordered[i].Value = snap[name]
+	}
+	writeJSON(w, ordered)
+}
+
+// writeJSON writes v as indented JSON with the standard header.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // a failed write means the client went away
+}

@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewMux returns the HTTP mux behind `qdcbench -listen`: the read-side seed
+// of the future qdcd daemon. It mounts
+//
+//	/debug/pprof/...  net/http/pprof (profiles of the live sweep)
+//	/debug/vars      the process-global expvar view (memstats, cmdline)
+//	/vars            reg's live variables as sorted JSON (nil reg: omitted)
+//	/progress        progress() as JSON (nil progress: omitted)
+//
+// The mux is deliberately built on a private ServeMux rather than
+// http.DefaultServeMux so multiple servers (tests, a sweep per port) never
+// collide on registrations.
+func NewMux(reg *Registry, progress func() any) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	if reg != nil {
+		mux.Handle("/vars", reg)
+	}
+	if progress != nil {
+		mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+			writeJSON(w, progress())
+		})
+	}
+	return mux
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMuxEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	var done Counter
+	done.Add(12)
+	reg.PublishCounter("scenarios_done", &done)
+	progress := func() any { return map[string]any{"done": done.Load(), "total": int64(97)} }
+	mux := NewMux(reg, progress)
+
+	do := func(path string) (int, string) {
+		t.Helper()
+		req := httptest.NewRequest("GET", path, nil)
+		rr := httptest.NewRecorder()
+		mux.ServeHTTP(rr, req)
+		body, _ := io.ReadAll(rr.Result().Body)
+		return rr.Code, string(body)
+	}
+
+	code, body := do("/progress")
+	if code != 200 {
+		t.Fatalf("/progress status %d", code)
+	}
+	var prog map[string]any
+	if err := json.Unmarshal([]byte(body), &prog); err != nil {
+		t.Fatalf("/progress not JSON: %v\n%s", err, body)
+	}
+	if prog["done"] != float64(12) || prog["total"] != float64(97) {
+		t.Errorf("/progress = %v", prog)
+	}
+
+	code, body = do("/vars")
+	if code != 200 || !strings.Contains(body, "scenarios_done") {
+		t.Errorf("/vars status %d body %s", code, body)
+	}
+
+	code, _ = do("/debug/pprof/")
+	if code != 200 {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+	code, body = do("/debug/vars")
+	if code != 200 || !strings.Contains(body, "memstats") {
+		t.Errorf("/debug/vars status %d", code)
+	}
+}
+
+func TestMuxWithoutRegistryOrProgress(t *testing.T) {
+	mux := NewMux(nil, nil)
+	req := httptest.NewRequest("GET", "/progress", nil)
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, req)
+	if rr.Code != 404 {
+		t.Errorf("/progress without a provider should 404, got %d", rr.Code)
+	}
+}
+
+// TestVarsHandlerSortedJSON pins the /vars wire format: an array of
+// name/value pairs with names in sorted order, so scraping scripts see a
+// stable shape.
+func TestVarsHandlerSortedJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Publish("zeta", func() any { return 1 })
+	reg.Publish("alpha", func() any { return 2 })
+	req := httptest.NewRequest("GET", "/vars", nil)
+	rr := httptest.NewRecorder()
+	reg.ServeHTTP(rr, req)
+	var rows []struct {
+		Name  string `json:"name"`
+		Value any    `json:"value"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &rows); err != nil {
+		t.Fatalf("/vars not JSON: %v\n%s", err, rr.Body.String())
+	}
+	if len(rows) != 2 || rows[0].Name != "alpha" || rows[1].Name != "zeta" {
+		t.Errorf("rows = %+v, want alpha then zeta", rows)
+	}
+}

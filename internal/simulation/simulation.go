@@ -36,6 +36,7 @@ type Runner struct {
 	net        *lbnetwork.Network
 	congestNet *congest.Network
 	cancel     func() bool
+	obs        engine.StageObserver
 	stats      engine.Stats
 
 	carolBits  int64
@@ -96,13 +97,16 @@ func (r *Runner) RunStage(factory congest.NodeFactory, inputs map[int]any, maxRo
 			r.serverBits += int64(msg.Bits)
 		}
 	}
-	res, err := r.congestNet.Run(factory, congest.Options{MaxRounds: maxRounds, Trace: trace, Cancel: r.cancel})
+	res, err := r.congestNet.Run(factory, congest.Options{MaxRounds: maxRounds, Trace: trace, Cancel: r.cancel, PerRound: r.obs != nil})
 	if res != nil {
 		r.stats.Stages++
 		r.stats.Rounds += res.Rounds
 		r.stats.Messages += res.TotalMessages
 		r.stats.Bits += res.TotalBits
 		r.stats.QuantumBits += res.QuantumBits
+		if r.obs != nil {
+			r.obs.StageDone(res)
+		}
 	}
 	if err != nil {
 		return res, fmt.Errorf("simulation: stage %d: %w", r.stats.Stages, err)
@@ -113,6 +117,10 @@ func (r *Runner) RunStage(factory congest.NodeFactory, inputs map[int]any, maxRo
 // SetCancel installs a cancellation poll checked at every round boundary of
 // subsequent stages; see congest.Options.Cancel.
 func (r *Runner) SetCancel(cancel func() bool) { r.cancel = cancel }
+
+// SetObserver installs a per-stage observer for subsequent stages; nil
+// removes it. See engine.StageObserver.
+func (r *Runner) SetObserver(obs engine.StageObserver) { r.obs = obs }
 
 // Bandwidth implements engine.Runner.
 func (r *Runner) Bandwidth() int { return r.congestNet.Bandwidth() }

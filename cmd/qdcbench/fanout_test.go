@@ -1,0 +1,192 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"qdc/internal/fanout"
+)
+
+// inprocWorker adapts an in-process function to fanout.Worker — the CLI
+// test seam that replaces re-executing the binary.
+type inprocWorker struct {
+	done chan struct{}
+	err  error
+}
+
+func startInproc(fn func() error) *inprocWorker {
+	w := &inprocWorker{done: make(chan struct{})}
+	go func() {
+		w.err = fn()
+		close(w.done)
+	}()
+	return w
+}
+
+func (w *inprocWorker) Wait() error {
+	<-w.done
+	return w.err
+}
+
+func (w *inprocWorker) Kill()          {}
+func (w *inprocWorker) Output() string { return "" }
+
+// inprocShardSpawn runs real qdcbench worker invocations in-process: the
+// exact argv the parent would exec, routed through run().
+func inprocShardSpawn(matrix string, shards int) fanout.SpawnFunc {
+	return func(shard, _ int, path string) (fanout.Worker, error) {
+		args := []string{"-matrix", matrix, "-shard", fmt.Sprintf("%d/%d", shard, shards), "-jsonl", path}
+		return startInproc(func() error { return run(args, io.Discard) }), nil
+	}
+}
+
+func withTestSpawn(t *testing.T, spawn fanout.SpawnFunc) {
+	t.Helper()
+	testSpawn = spawn
+	t.Cleanup(func() { testSpawn = nil })
+}
+
+// TestFanoutMatchesUnsharded is the acceptance gate at CLI level: a
+// supervised 3-shard fanout of the quick matrix must produce a snapshot
+// byte-identical to the unsharded -json run, and the event log must show
+// every shard's worker_done.
+func TestFanoutMatchesUnsharded(t *testing.T) {
+	dir := t.TempDir()
+	unsharded := filepath.Join(dir, "unsharded.json")
+	fanned := filepath.Join(dir, "fanned.json")
+	events := filepath.Join(dir, "events.jsonl")
+
+	var out bytes.Buffer
+	if err := run([]string{"-matrix", "quick", "-json", unsharded}, &out); err != nil {
+		t.Fatalf("unsharded run: %v", err)
+	}
+	withTestSpawn(t, inprocShardSpawn("quick", 3))
+	if err := run([]string{"fanout", "-shards", "3", "-matrix", "quick", "-json", fanned, "-events", events}, &out); err != nil {
+		t.Fatalf("fanout: %v\n%s", err, out.String())
+	}
+
+	want, err := os.ReadFile(unsharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(fanned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("fanout snapshot is not byte-identical to the unsharded run")
+	}
+	log, err := os.ReadFile(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for shard := 1; shard <= 3; shard++ {
+		marker := fmt.Sprintf(`"shard":%d`, shard)
+		found := false
+		for _, line := range strings.Split(string(log), "\n") {
+			if strings.Contains(line, `"event":"worker_done"`) && strings.Contains(line, marker) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("event log has no worker_done for shard %d", shard)
+		}
+	}
+	if !strings.Contains(out.String(), "fanout matrix quick: 3 shards") {
+		t.Errorf("summary missing from output:\n%s", out.String())
+	}
+}
+
+// TestFanoutRetriesCrashedWorker kills one shard's first attempt mid-record
+// and checks the supervision loop retries it, the sweep completes, and the
+// merged snapshot still matches the unsharded run byte for byte.
+func TestFanoutRetriesCrashedWorker(t *testing.T) {
+	dir := t.TempDir()
+	streams := filepath.Join(dir, "streams")
+	unsharded := filepath.Join(dir, "unsharded.json")
+	fanned := filepath.Join(dir, "fanned.json")
+	events := filepath.Join(dir, "events.jsonl")
+
+	var out bytes.Buffer
+	if err := run([]string{"-matrix", "quick", "-json", unsharded}, &out); err != nil {
+		t.Fatal(err)
+	}
+	healthy := inprocShardSpawn("quick", 3)
+	withTestSpawn(t, func(shard, attempt int, path string) (fanout.Worker, error) {
+		if shard == 2 && attempt == 1 {
+			return startInproc(func() error {
+				// A record cut off mid-line, then a crash.
+				if err := os.WriteFile(path, []byte(`{"scenario":{"name":"qu`), 0o644); err != nil {
+					return err
+				}
+				return errors.New("exit status 2")
+			}), nil
+		}
+		return healthy(shard, attempt, path)
+	})
+	if err := run([]string{"fanout", "-shards", "3", "-matrix", "quick", "-json", fanned, "-events", events, "-dir", streams}, &out); err != nil {
+		t.Fatalf("fanout with one crash: %v\n%s", err, out.String())
+	}
+
+	want, _ := os.ReadFile(unsharded)
+	got, _ := os.ReadFile(fanned)
+	if !bytes.Equal(got, want) {
+		t.Error("snapshot after a crash-and-retry is not byte-identical to the unsharded run")
+	}
+	log, err := os.ReadFile(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(log), `"event":"worker_retry"`) {
+		t.Error("event log has no worker_retry for the crashed shard")
+	}
+	if !strings.Contains(out.String(), "2 attempt(s)") {
+		t.Errorf("per-shard summary does not show the retry:\n%s", out.String())
+	}
+	// An explicit -dir keeps the shard streams, including the dead attempt's.
+	if _, err := os.Stat(filepath.Join(streams, "shard-2-attempt-1.jsonl")); err != nil {
+		t.Errorf("crashed attempt's stream not kept under -dir: %v", err)
+	}
+}
+
+// TestFanoutFailureNamesDeadShards: with retries exhausted the sweep fails
+// and the error says which shard died and why.
+func TestFanoutFailureNamesDeadShards(t *testing.T) {
+	healthy := inprocShardSpawn("quick", 2)
+	withTestSpawn(t, func(shard, attempt int, path string) (fanout.Worker, error) {
+		if shard == 2 {
+			return startInproc(func() error { return errors.New("exit status 2") }), nil
+		}
+		return healthy(shard, attempt, path)
+	})
+	var out bytes.Buffer
+	err := run([]string{"fanout", "-shards", "2", "-matrix", "quick", "-retries", "1"}, &out)
+	if err == nil {
+		t.Fatal("a dead shard must fail the sweep")
+	}
+	for _, want := range []string{"1 of 2 shards failed", "shard 2 (2 attempts)", "exit status 2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestFanoutFlagValidation pins the argument contract.
+func TestFanoutFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"fanout"}, &out); err == nil || !strings.Contains(err.Error(), "-shards") {
+		t.Errorf("missing -shards: err = %v", err)
+	}
+	if err := run([]string{"fanout", "-shards", "2", "-matrix", "no-such-matrix"}, &out); err == nil {
+		t.Error("unknown matrix must error")
+	}
+	if err := run([]string{"fanout", "-shards", "2", "stray"}, &out); err == nil || !strings.Contains(err.Error(), "positional") {
+		t.Errorf("stray positional arg: err = %v", err)
+	}
+}

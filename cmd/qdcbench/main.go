@@ -39,6 +39,15 @@
 //	qdcbench merge -matrix quick -json merged.json s1.jsonl s2.jsonl
 //	qdcbench trend -dir snapshots/
 //
+// The fanout subcommand supervises the whole shard lifecycle itself: it
+// re-invokes this binary once per shard, tails the worker JSONL streams
+// live (feeding the same -progress/-listen/-events plumbing), retries
+// crashed workers with capped backoff, and merges on completion — still
+// byte-identical to the unsharded run:
+//
+//	qdcbench fanout -shards 4 -matrix default -json BENCH_default.json
+//	qdcbench fanout -shards 3 -matrix quick -events events.jsonl -progress 30s
+//
 // Observability rides along any matrix sweep without touching its results:
 // -metrics collects a deterministic per-scenario metrics block (per-round
 // message/bit/qubit histograms) that travels in the JSONL stream but is
@@ -135,6 +144,8 @@ type config struct {
 func run(args []string, out io.Writer) error {
 	if len(args) > 0 {
 		switch args[0] {
+		case "fanout":
+			return runFanout(args[1:], out)
 		case "merge":
 			return runMerge(args[1:], out)
 		case "trend":
@@ -265,49 +276,14 @@ func runMatrix(c config, out io.Writer) error {
 		}
 		sinks = append(sinks, exp.NewEventSink(eventLog))
 	}
-	var server *http.Server
-	if c.listen != "" {
-		reg := obs.NewRegistry()
-		status.Register(reg)
-		ln, err := net.Listen("tcp", c.listen)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "serving pprof, /vars and /progress on http://%s\n", ln.Addr())
-		server = &http.Server{Handler: obs.NewMux(reg, status.Progress)}
-		go server.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	shutdownListen, err := startListen(out, c.listen, c.linger, status)
+	if err != nil {
+		return err
 	}
-	heartbeat := func() {
-		fmt.Fprintf(out, "progress: %d/%d done, %d failed, %d in flight, %.0f node-rounds/sec\n",
-			status.Done.Load(), status.Total, status.Failed.Load(), status.InFlight.Load(),
-			status.NodeRoundsPerSec())
-	}
-	var hbStop, hbDone chan struct{}
-	if c.progressEvery > 0 {
-		hbStop, hbDone = make(chan struct{}), make(chan struct{})
-		go func() {
-			defer close(hbDone)
-			tick := time.NewTicker(c.progressEvery)
-			defer tick.Stop()
-			for {
-				select {
-				case <-hbStop:
-					return
-				case <-tick.C:
-					heartbeat()
-				}
-			}
-		}()
-	}
+	stopHeartbeat := startHeartbeat(out, c.progressEvery, status)
 
 	sum, err := exp.Execute(scenarios, exp.ExecOptions{Workers: c.workers, Timeout: c.timeout, Metrics: c.metrics, Status: status}, sinks...)
-	if hbStop != nil {
-		// Stop and join the heartbeat goroutine before printing the summary,
-		// so the writes to out never interleave.
-		close(hbStop)
-		<-hbDone
-		heartbeat()
-	}
+	stopHeartbeat()
 	for _, s := range sinks {
 		if cerr := s.Close(); cerr != nil && err == nil {
 			err = cerr
@@ -323,13 +299,7 @@ func runMatrix(c config, out io.Writer) error {
 			err = cerr
 		}
 	}
-	if server != nil {
-		if c.linger > 0 {
-			fmt.Fprintf(out, "lingering %s for live-endpoint scrapes\n", c.linger)
-			time.Sleep(c.linger)
-		}
-		server.Close() //nolint:errcheck // shutting down, nothing to salvage
-	}
+	shutdownListen()
 	if err != nil {
 		return err
 	}
@@ -363,7 +333,19 @@ func runMatrix(c config, out io.Writer) error {
 		for _, name := range diff.Removed {
 			fmt.Fprintf(out, "  REMOVED %s\n", name)
 		}
+		for _, name := range diff.DuplicateOld {
+			fmt.Fprintf(out, "  DUPLICATE in baseline: %s\n", name)
+		}
+		for _, name := range diff.DuplicateNew {
+			fmt.Fprintf(out, "  DUPLICATE in new run: %s\n", name)
+		}
 		switch {
+		case len(diff.DuplicateOld) > 0 || len(diff.DuplicateNew) > 0:
+			// A duplicated scenario name means the comparison itself is
+			// unreliable (an arbitrary copy was diffed), not that one
+			// scenario regressed — refuse the gate outright.
+			return fmt.Errorf("duplicate scenario names make the diff against %s unreliable (%d in baseline, %d in new run)",
+				c.baseline, len(diff.DuplicateOld), len(diff.DuplicateNew))
 		case len(diff.Regressions) > 0:
 			return fmt.Errorf("%d regressions against %s", len(diff.Regressions), c.baseline)
 		case !diff.Clean() && !c.allowRemoved:
@@ -377,6 +359,68 @@ func runMatrix(c config, out io.Writer) error {
 		return fmt.Errorf("%d of %d scenarios failed", sum.Failed, sum.Scenarios)
 	}
 	return nil
+}
+
+// startListen serves the live sweep endpoints (pprof, /vars, /progress)
+// for status on addr. The returned shutdown waits out the linger window —
+// so probes can scrape a finished run — then closes the server. With an
+// empty addr both the start and the shutdown are no-ops. Matrix sweeps and
+// fanout supervisions share it: the fan-out parent serves the very same
+// endpoints over the counters its record tails feed.
+func startListen(out io.Writer, addr string, linger time.Duration, status *exp.Status) (shutdown func(), err error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	reg := obs.NewRegistry()
+	status.Register(reg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(out, "serving pprof, /vars and /progress on http://%s\n", ln.Addr())
+	server := &http.Server{Handler: obs.NewMux(reg, status.Progress)}
+	go server.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return func() {
+		if linger > 0 {
+			fmt.Fprintf(out, "lingering %s for live-endpoint scrapes\n", linger)
+			time.Sleep(linger)
+		}
+		server.Close() //nolint:errcheck // shutting down, nothing to salvage
+	}, nil
+}
+
+// startHeartbeat prints a progress line every interval for headless CI
+// logs. The returned stop joins the ticker goroutine before printing one
+// final line, so heartbeat writes never interleave with the caller's
+// summary. With a non-positive interval both are no-ops.
+func startHeartbeat(out io.Writer, every time.Duration, status *exp.Status) (stop func()) {
+	heartbeat := func() {
+		fmt.Fprintf(out, "progress: %d/%d done, %d failed, %d in flight, %.0f node-rounds/sec\n",
+			status.Done.Load(), status.Total, status.Failed.Load(), status.InFlight.Load(),
+			status.NodeRoundsPerSec())
+	}
+	if every <= 0 {
+		return func() {}
+	}
+	hbStop, hbDone := make(chan struct{}), make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-tick.C:
+				heartbeat()
+			}
+		}
+	}()
+	return func() {
+		close(hbStop)
+		<-hbDone
+		heartbeat()
+	}
 }
 
 // runRoundBench runs the round-loop benchmark matrix — the deterministic

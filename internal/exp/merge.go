@@ -20,6 +20,10 @@ func MergeRecords(sets ...[]Record) ([]Record, error) {
 	for i, set := range sets {
 		for _, r := range set {
 			if prev, dup := from[r.Scenario.Name]; dup {
+				if prev == i+1 {
+					return nil, fmt.Errorf("exp: scenario %q appears twice within shard %d",
+						r.Scenario.Name, prev)
+				}
 				return nil, fmt.Errorf("exp: scenario %q appears in both shard %d and shard %d",
 					r.Scenario.Name, prev, i+1)
 			}

@@ -111,6 +111,22 @@ func (st *Status) ScenarioDone(rec Record) {
 	st.NodeRounds.Add(int64(rec.Stats.Rounds) * int64(rec.Scenario.Topology.Size))
 }
 
+// ScenarioUncounted removes a previously counted record from the live
+// counters. The fan-out supervisor streams records as each worker's JSONL
+// lines complete; when a worker crashes mid-shard those records are
+// discarded and the retry re-runs the whole shard, so without the rollback
+// the retried records would be counted twice and Done could exceed Total.
+func (st *Status) ScenarioUncounted(rec Record) {
+	if st == nil {
+		return
+	}
+	st.Done.Add(-1)
+	if rec.Failed() {
+		st.Failed.Add(-1)
+	}
+	st.NodeRounds.Add(-int64(rec.Stats.Rounds) * int64(rec.Scenario.Topology.Size))
+}
+
 // NodeRoundsPerSec returns the sweep-wide simulation throughput so far.
 func (st *Status) NodeRoundsPerSec() float64 {
 	secs := time.Since(st.start).Seconds()

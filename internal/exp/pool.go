@@ -113,6 +113,12 @@ func Execute(scenarios []Scenario, opts ExecOptions, sinks ...Sink) (Summary, er
 		sum     Summary
 		sinkErr error
 	)
+	// live is a private copy of the sink fan-out: a sink whose Write fails is
+	// dropped from it (set to nil) so later records are not written to a dead
+	// file — repeated writes burn time and their errors could mask the first,
+	// root-cause one. Results keep draining either way so the Summary stays
+	// complete and the workers never block on a full channel.
+	live := append([]Sink(nil), sinks...)
 	for rec := range results {
 		sum.Scenarios++
 		switch {
@@ -124,9 +130,15 @@ func Execute(scenarios []Scenario, opts ExecOptions, sinks ...Sink) (Summary, er
 		default:
 			sum.Passed++
 		}
-		for _, sink := range sinks {
-			if err := sink.Write(rec); err != nil && sinkErr == nil {
-				sinkErr = fmt.Errorf("exp: sink write: %w", err)
+		for i, sink := range live {
+			if sink == nil {
+				continue
+			}
+			if err := sink.Write(rec); err != nil {
+				if sinkErr == nil {
+					sinkErr = fmt.Errorf("exp: sink write: %w", err)
+				}
+				live[i] = nil
 			}
 		}
 	}
@@ -139,7 +151,9 @@ func Execute(scenarios []Scenario, opts ExecOptions, sinks ...Sink) (Summary, er
 // own) and runs that outlive the timeout. On timeout the expired channel
 // closes, the run's cancel poll starts reporting true, and the scenario
 // goroutine terminates at its next round boundary — the timeout record is
-// returned immediately either way.
+// returned immediately either way. Timeout and panic records carry the
+// elapsed wall time like every other record: they are exactly the scenarios
+// the -slowest table and the summary's wall accounting must not lose.
 func runIsolated(s Scenario, timeout time.Duration, run func(Scenario, func() bool) Record) Record {
 	ch := make(chan Record, 1)
 	expired := make(chan struct{})
@@ -151,10 +165,11 @@ func runIsolated(s Scenario, timeout time.Duration, run func(Scenario, func() bo
 			return false
 		}
 	}
+	start := time.Now()
 	go func() {
 		defer func() {
 			if p := recover(); p != nil {
-				ch <- Record{Scenario: s, Error: fmt.Sprintf("panic: %v", p)}
+				ch <- Record{Scenario: s, Error: fmt.Sprintf("panic: %v", p), WallMillis: millisSince(start)}
 			}
 		}()
 		ch <- run(s, cancel)
@@ -166,6 +181,11 @@ func runIsolated(s Scenario, timeout time.Duration, run func(Scenario, func() bo
 		return rec
 	case <-timer.C:
 		close(expired)
-		return Record{Scenario: s, Error: fmt.Sprintf("timeout after %s", timeout)}
+		return Record{Scenario: s, Error: fmt.Sprintf("timeout after %s", timeout), WallMillis: millisSince(start)}
 	}
+}
+
+// millisSince returns the wall-clock milliseconds elapsed since start.
+func millisSince(start time.Time) float64 {
+	return float64(time.Since(start)) / float64(time.Millisecond)
 }

@@ -1,0 +1,137 @@
+package exp
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTimeoutAndPanicRecordsCarryWallTime pins the failure-accounting fix:
+// the records runIsolated fabricates for timeouts and panics must carry the
+// elapsed wall time like any other record — they are exactly the scenarios
+// the -slowest table and the summary's wall accounting must not lose.
+func TestTimeoutAndPanicRecordsCarryWallTime(t *testing.T) {
+	const nap = 20 * time.Millisecond
+
+	t.Run("timeout", func(t *testing.T) {
+		rec := runIsolated(Scenario{Name: "slow"}, nap, func(s Scenario, cancel func() bool) Record {
+			time.Sleep(time.Second)
+			return Record{Scenario: s, OK: true}
+		})
+		if !strings.Contains(rec.Error, "timeout") {
+			t.Fatalf("expected a timeout record, got %+v", rec)
+		}
+		if rec.WallMillis < float64(nap/time.Millisecond) {
+			t.Errorf("timeout record wall_ms = %v, want >= %v", rec.WallMillis, nap)
+		}
+	})
+	t.Run("panic", func(t *testing.T) {
+		rec := runIsolated(Scenario{Name: "boom"}, time.Second, func(s Scenario, cancel func() bool) Record {
+			time.Sleep(nap)
+			panic("node exploded")
+		})
+		if !strings.Contains(rec.Error, "panic") {
+			t.Fatalf("expected a panic record, got %+v", rec)
+		}
+		if rec.WallMillis < float64(nap/time.Millisecond) {
+			t.Errorf("panic record wall_ms = %v, want >= %v", rec.WallMillis, nap)
+		}
+	})
+}
+
+// failingSink errors on every Write after (and including) failAt.
+type failingSink struct {
+	writes int
+	failAt int
+}
+
+func (f *failingSink) Write(Record) error {
+	f.writes++
+	if f.writes >= f.failAt {
+		return errors.New("disk full")
+	}
+	return nil
+}
+
+func (f *failingSink) Close() error { return nil }
+
+// TestExecuteDropsFailedSink pins the dead-sink fix: after a sink's first
+// write error the executor stops writing to it (no further Write calls that
+// could burn time or mask the root cause), keeps feeding the healthy sinks,
+// drains every result, and returns the first error.
+func TestExecuteDropsFailedSink(t *testing.T) {
+	scenarios := make([]Scenario, 8)
+	for i := range scenarios {
+		scenarios[i] = Scenario{Name: string(rune('a' + i))}
+	}
+	opts := ExecOptions{
+		Workers: 2,
+		run: func(s Scenario, cancel func() bool) Record {
+			return Record{Scenario: s, OK: true}
+		},
+	}
+	bad := &failingSink{failAt: 2}
+	var good Collect
+	sum, err := Execute(scenarios, opts, bad, &good)
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("expected the sink's write error, got %v", err)
+	}
+	if bad.writes != 2 {
+		t.Errorf("failed sink saw %d writes, want exactly 2 (one success, one failure, then dropped)", bad.writes)
+	}
+	if len(good.Records) != len(scenarios) {
+		t.Errorf("healthy sink saw %d records, want %d", len(good.Records), len(scenarios))
+	}
+	if sum.Scenarios != len(scenarios) || sum.Passed != len(scenarios) {
+		t.Errorf("summary incomplete after sink failure: %+v", sum)
+	}
+}
+
+// TestCompareDuplicates pins the duplicate-name fix: Compare must surface a
+// scenario name occurring twice on either side instead of silently keeping
+// the last old copy and double-counting new ones, and the diff must never
+// count as clean.
+func TestCompareDuplicates(t *testing.T) {
+	mk := func(name string, rounds int) Record {
+		r := Record{OK: true}
+		r.Scenario.Name = name
+		r.Stats.Rounds = rounds
+		return r
+	}
+	old := []Record{mk("dup", 10), mk("other", 5), mk("dup", 99)}
+	new := []Record{mk("dup", 10), mk("other", 5), mk("dup", 10), mk("dup", 10)}
+
+	diff := Compare(old, new)
+	if !reflect.DeepEqual(diff.DuplicateOld, []string{"dup"}) {
+		t.Errorf("DuplicateOld = %v, want [dup] exactly once", diff.DuplicateOld)
+	}
+	if !reflect.DeepEqual(diff.DuplicateNew, []string{"dup"}) {
+		t.Errorf("DuplicateNew = %v, want [dup] exactly once", diff.DuplicateNew)
+	}
+	if diff.Clean() || diff.CleanExceptRemoved() {
+		t.Error("a diff over duplicated scenario names must not be clean")
+	}
+	// The first copy is the one compared: old dup has rounds 10, matching
+	// the new one, so the bogus 99-rounds copy must not fabricate a delta.
+	if len(diff.Regressions) != 0 || len(diff.Improvements) != 0 {
+		t.Errorf("duplicates fabricated cost deltas: reg=%v imp=%v", diff.Regressions, diff.Improvements)
+	}
+	// Duplicated names are not also "added"/"removed" noise.
+	if len(diff.Added) != 0 || len(diff.Removed) != 0 {
+		t.Errorf("added=%v removed=%v, want none", diff.Added, diff.Removed)
+	}
+}
+
+// TestMergeRejectsWithinShardDuplicate checks the merge error names a
+// single shard when the duplicate is inside one input set, rather than the
+// confusing "both shard 2 and shard 2".
+func TestMergeRejectsWithinShardDuplicate(t *testing.T) {
+	rec := Record{OK: true}
+	rec.Scenario.Name = "twin"
+	_, err := MergeRecords([]Record{rec, rec})
+	if err == nil || !strings.Contains(err.Error(), "twice within shard 1") {
+		t.Fatalf("within-shard duplicate error = %v", err)
+	}
+}

@@ -190,34 +190,59 @@ type Diff struct {
 	// Added and Removed are scenario names present on only one side.
 	Added   []string `json:"added,omitempty"`
 	Removed []string `json:"removed,omitempty"`
+	// DuplicateOld and DuplicateNew name scenarios appearing more than once
+	// on the old or new side. A canonical snapshot never contains duplicates
+	// (MergeRecords rejects them), so a duplicate means the input was
+	// assembled by hand — concatenated files, the same shard twice — and any
+	// cost comparison over it is built on an arbitrary choice of copy. The
+	// diff surfaces them instead of silently keeping the last old copy and
+	// double-counting new ones, and Clean fails on them.
+	DuplicateOld []string `json:"duplicate_old,omitempty"`
+	DuplicateNew []string `json:"duplicate_new,omitempty"`
 }
 
-// Clean reports whether the diff contains no regressions and no removals.
-// A scenario missing from the new snapshot counts as a regression: a
-// shrunken matrix, a crashed shard, or a merge that lost records would
-// otherwise sail through a baseline gate that only watched costs grow.
-// Callers that intend the shrink (a deliberate matrix edit) can accept a
-// removal-only diff via CleanExceptRemoved.
-func (d Diff) Clean() bool { return len(d.Regressions) == 0 && len(d.Removed) == 0 }
+// duplicated reports whether either side held a scenario name twice.
+func (d Diff) duplicated() bool { return len(d.DuplicateOld) > 0 || len(d.DuplicateNew) > 0 }
+
+// Clean reports whether the diff contains no regressions, no removals and
+// no duplicated scenario names. A scenario missing from the new snapshot
+// counts as a regression: a shrunken matrix, a crashed shard, or a merge
+// that lost records would otherwise sail through a baseline gate that only
+// watched costs grow. Callers that intend the shrink (a deliberate matrix
+// edit) can accept a removal-only diff via CleanExceptRemoved.
+func (d Diff) Clean() bool {
+	return len(d.Regressions) == 0 && len(d.Removed) == 0 && !d.duplicated()
+}
 
 // CleanExceptRemoved reports whether the diff is clean apart from removed
 // scenarios — the escape hatch for intentional matrix shrinks (qdcbench
-// -allow-removed).
-func (d Diff) CleanExceptRemoved() bool { return len(d.Regressions) == 0 }
+// -allow-removed). Duplicates are never acceptable: they make the whole
+// comparison unreliable, not just one scenario's row.
+func (d Diff) CleanExceptRemoved() bool { return len(d.Regressions) == 0 && !d.duplicated() }
 
 // Compare matches records by scenario name and reports how the new results
 // moved relative to the old ones. Because every scenario is deterministic
 // given its seed, *any* growth in rounds or bits between snapshots of the
 // same matrix is a genuine algorithmic regression, not noise; wall-clock
-// time is deliberately ignored.
+// time is deliberately ignored. A name appearing more than once on either
+// side is reported in DuplicateOld/DuplicateNew (the first copy is the one
+// compared), and a diff with duplicates is never Clean.
 func Compare(old, new []Record) Diff {
+	var diff Diff
 	oldBy := make(map[string]Record, len(old))
 	for _, r := range old {
+		if _, dup := oldBy[r.Scenario.Name]; dup {
+			diff.DuplicateOld = appendName(diff.DuplicateOld, r.Scenario.Name)
+			continue
+		}
 		oldBy[r.Scenario.Name] = r
 	}
-	var diff Diff
 	seen := make(map[string]bool, len(new))
 	for _, nr := range new {
+		if seen[nr.Scenario.Name] {
+			diff.DuplicateNew = appendName(diff.DuplicateNew, nr.Scenario.Name)
+			continue
+		}
 		seen[nr.Scenario.Name] = true
 		or, ok := oldBy[nr.Scenario.Name]
 		if !ok {
@@ -246,7 +271,20 @@ func Compare(old, new []Record) Diff {
 	sort.Slice(diff.Improvements, func(i, j int) bool { return diff.Improvements[i].Name < diff.Improvements[j].Name })
 	sort.Strings(diff.Added)
 	sort.Strings(diff.Removed)
+	sort.Strings(diff.DuplicateOld)
+	sort.Strings(diff.DuplicateNew)
 	return diff
+}
+
+// appendName appends name if the (small) list does not already hold it, so
+// a scenario occurring three times is still reported once.
+func appendName(names []string, name string) []string {
+	for _, n := range names {
+		if n == name {
+			return names
+		}
+	}
+	return append(names, name)
 }
 
 func failureText(r Record) string {

@@ -1,0 +1,82 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Tail incrementally decodes Records from a JSONL stream that another
+// process is still appending to — the live view a fan-out supervisor keeps
+// on each worker's -jsonl output. Poll returns the records whose lines have
+// been completely written since the previous call; a trailing line without
+// its newline is carried over and decoded once the writer finishes it, so a
+// record is never observed half-written.
+type Tail struct {
+	path string
+	f    *os.File
+	buf  []byte // bytes read past the last complete line
+}
+
+// NewTail returns a tail over path. The file need not exist yet: the worker
+// that writes it may not have started, and Poll treats a missing file as an
+// empty stream.
+func NewTail(path string) *Tail { return &Tail{path: path} }
+
+// Poll decodes every record appended as a complete line since the last
+// call. A file that does not exist yet reads as empty; a complete line that
+// fails to decode is a permanent error (the stream is corrupt, not merely
+// short), returned along with the records decoded before it.
+func (t *Tail) Poll() ([]Record, error) {
+	if t.f == nil {
+		f, err := os.Open(t.path)
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		t.f = f
+	}
+	data, err := io.ReadAll(t.f)
+	if len(data) > 0 {
+		t.buf = append(t.buf, data...)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s: %w", t.path, err)
+	}
+	var recs []Record
+	for {
+		nl := bytes.IndexByte(t.buf, '\n')
+		if nl < 0 {
+			return recs, nil
+		}
+		line := t.buf[:nl]
+		t.buf = t.buf[nl+1:]
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil {
+			return recs, fmt.Errorf("exp: %s: %w", t.path, err)
+		}
+		recs = append(recs, r)
+	}
+}
+
+// Pending reports whether bytes of an incomplete trailing line are buffered
+// — after the writer has exited, pending bytes mean it died mid-record.
+func (t *Tail) Pending() bool { return len(t.buf) > 0 }
+
+// Close releases the underlying file, if it was ever opened.
+func (t *Tail) Close() error {
+	if t.f == nil {
+		return nil
+	}
+	err := t.f.Close()
+	t.f = nil
+	return err
+}

@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTailStreamsCompletedLines drives the live-tail contract: records
+// appear as their lines complete, a half-written trailing line is never
+// surfaced, and a missing file reads as an empty stream.
+func TestTailStreamsCompletedLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stream.jsonl")
+	tail := NewTail(path)
+	defer tail.Close()
+
+	// The worker has not created the file yet.
+	if recs, err := tail.Poll(); err != nil || len(recs) != 0 {
+		t.Fatalf("missing file: recs=%v err=%v, want empty", recs, err)
+	}
+
+	mk := func(name string) []byte {
+		r := Record{OK: true}
+		r.Scenario.Name = name
+		line, _ := json.Marshal(r)
+		return append(line, '\n')
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	write := func(b []byte) {
+		t.Helper()
+		if _, err := f.Write(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// One complete record plus the first half of a second one.
+	second := mk("two")
+	write(mk("one"))
+	write(second[:10])
+	recs, err := tail.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Scenario.Name != "one" {
+		t.Fatalf("first poll = %v, want exactly the one complete record", recs)
+	}
+	if !tail.Pending() {
+		t.Error("a half-written line must report as pending")
+	}
+
+	// Completing the second line surfaces it on the next poll.
+	write(second[10:])
+	recs, err = tail.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Scenario.Name != "two" {
+		t.Fatalf("second poll = %v, want the completed record", recs)
+	}
+	if tail.Pending() {
+		t.Error("no partial bytes remain, Pending must be false")
+	}
+
+	// A corrupt completed line is a permanent error.
+	write([]byte("{\"scenario\": TRUNC}\n"))
+	if _, err := tail.Poll(); err == nil || !strings.Contains(err.Error(), path) {
+		t.Fatalf("corrupt line error = %v, want one naming the stream", err)
+	}
+}

@@ -1,0 +1,360 @@
+// Package fanout supervises a multi-process sweep: one worker per matrix
+// shard, each re-running the qdcbench binary over its deterministic slice of
+// the expansion and streaming records to a JSONL file the supervisor tails
+// as lines complete. Robustness is the point of the package: a worker that
+// crashes, exits non-zero before its stream is complete, or outlives the
+// per-attempt timeout is killed (together with its whole process group) and
+// re-spawned with capped exponential backoff up to Retries times; an
+// interrupt kills every live worker so ctrl-C leaves no orphans; and the
+// final error names exactly which shards died and why. The subprocess spawn
+// is a seam (SpawnFunc) so tests drive the entire supervision tree with
+// in-process stubs.
+//
+// The supervisor never interprets records beyond counting them: merging the
+// per-shard record sets back into the canonical snapshot (exp.MergeRecords,
+// exp.CheckComplete) is the caller's job, which is what keeps the merged
+// output byte-identical to an unsharded run.
+package fanout
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qdc/internal/exp"
+)
+
+// Defaults for Options; see the field docs.
+const (
+	DefaultRetries    = 2
+	DefaultBackoff    = 500 * time.Millisecond
+	DefaultMaxBackoff = 5 * time.Second
+
+	// pollInterval is how often a worker's JSONL stream is polled for newly
+	// completed lines while the worker runs.
+	pollInterval = 25 * time.Millisecond
+)
+
+// ErrInterrupted is returned by Run when Options.Interrupt delivered a
+// signal: every live worker has been killed and no shard was retried.
+var ErrInterrupted = errors.New("fanout: interrupted")
+
+// Worker is one running shard attempt. Implementations wrap a subprocess
+// (ExecSpawn) or an in-process stub (tests).
+type Worker interface {
+	// Wait blocks until the worker exits; nil means exit status 0. Called
+	// exactly once.
+	Wait() error
+	// Kill forcibly terminates the worker — for subprocesses, its whole
+	// process group, so grandchildren die too — causing Wait to return.
+	// Safe to call concurrently with Wait, and more than once.
+	Kill()
+	// Output returns a bounded tail of the worker's combined stdout/stderr
+	// for failure reports; it is complete only after Wait has returned.
+	Output() string
+}
+
+// SpawnFunc starts one attempt of one shard (1-based), with the worker
+// writing its records as JSONL to path.
+type SpawnFunc func(shard, attempt int, path string) (Worker, error)
+
+// Options configures Run.
+type Options struct {
+	// Shards is the number of workers; shard i runs slice i/Shards.
+	Shards int
+	// Expected[i] is the number of records shard i+1 must produce. A worker
+	// whose stream reaches its expected count has completed its shard even
+	// if it exits non-zero — the qdcbench worker exits 1 when scenarios
+	// fail, and failed scenarios are data, not a crash. A worker that exits
+	// with any status before the stream is complete has crashed and is
+	// retried.
+	Expected []int
+	// Retries is how many times a crashed shard is re-spawned after its
+	// first attempt; negative selects DefaultRetries.
+	Retries int
+	// Timeout bounds one attempt's wall time; 0 or negative means no bound.
+	Timeout time.Duration
+	// Backoff is the delay before the first retry, doubling per retry up to
+	// MaxBackoff. Zero values select the defaults.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Dir is the directory for the per-shard JSONL streams. Every attempt
+	// writes a fresh file (shard-i-attempt-k.jsonl), so a worker truncating
+	// its output on startup can never race the supervisor's tail of a
+	// previous attempt.
+	Dir string
+	// Spawn starts one shard attempt. Required.
+	Spawn SpawnFunc
+	// OnRecord streams each record as its JSONL line completes, with the
+	// 1-based shard it came from. Called from per-shard goroutines,
+	// possibly concurrently; may be nil.
+	OnRecord func(shard int, rec exp.Record)
+	// OnDiscard reports records a failed attempt had already streamed; the
+	// retry will re-produce and re-stream them (records are deterministic,
+	// so the re-run yields identical ones). May be nil.
+	OnDiscard func(shard int, recs []exp.Record)
+	// OnEvent receives worker lifecycle events: worker_start, worker_done,
+	// worker_retry, worker_failed. Called from per-shard goroutines,
+	// possibly concurrently; may be nil.
+	OnEvent func(kind string, data map[string]any)
+	// Interrupt, when it delivers, makes Run kill every live worker, stop
+	// retrying, and return ErrInterrupted. Wire os/signal.Notify to it so
+	// ctrl-C reaches workers parked in their own process groups.
+	Interrupt <-chan os.Signal
+}
+
+// ShardStatus is one shard's outcome.
+type ShardStatus struct {
+	// Shard is the 1-based shard index.
+	Shard int
+	// Attempts is how many times the shard was spawned.
+	Attempts int
+	// Records is the completed shard's record set, nil when Err is set.
+	Records []exp.Record
+	// Err is the last attempt's failure; nil when the shard completed.
+	Err error
+}
+
+// Result is the whole run's outcome. Shards[i] describes shard i+1.
+type Result struct {
+	Shards      []ShardStatus
+	Interrupted bool
+}
+
+// Records returns the completed shards' record sets in shard order, ready
+// for exp.MergeRecords.
+func (r Result) Records() [][]exp.Record {
+	sets := make([][]exp.Record, 0, len(r.Shards))
+	for _, s := range r.Shards {
+		if s.Err == nil {
+			sets = append(sets, s.Records)
+		}
+	}
+	return sets
+}
+
+// summaryErr builds the partial-failure report: which shards died, after
+// how many attempts, and why.
+func (r Result) summaryErr() error {
+	var failed []string
+	for _, s := range r.Shards {
+		if s.Err != nil {
+			failed = append(failed, fmt.Sprintf("shard %d (%d attempts): %v", s.Shard, s.Attempts, s.Err))
+		}
+	}
+	if len(failed) == 0 {
+		return nil
+	}
+	return fmt.Errorf("fanout: %d of %d shards failed: %s", len(failed), len(r.Shards), strings.Join(failed, "; "))
+}
+
+// Run supervises every shard to completion (or exhausted retries) and
+// reports per-shard outcomes. The returned error is nil only when every
+// shard completed; it is ErrInterrupted after an interrupt, and the
+// which-shards-died-and-why summary otherwise. Shards run concurrently —
+// scenario-level parallelism inside each worker is the worker's own
+// business.
+func Run(opts Options) (Result, error) {
+	if opts.Shards < 1 {
+		return Result{}, fmt.Errorf("fanout: shard count %d is not positive", opts.Shards)
+	}
+	if opts.Spawn == nil {
+		return Result{}, errors.New("fanout: Options.Spawn is required")
+	}
+	if len(opts.Expected) != opts.Shards {
+		return Result{}, fmt.Errorf("fanout: %d expected-count entries for %d shards", len(opts.Expected), opts.Shards)
+	}
+	if opts.Retries < 0 {
+		opts.Retries = DefaultRetries
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = DefaultBackoff
+	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = DefaultMaxBackoff
+	}
+
+	// stop closes when an interrupt arrives; finished closes when every
+	// shard is done, releasing the watcher goroutine.
+	stop := make(chan struct{})
+	finished := make(chan struct{})
+	var interrupted atomic.Bool
+	if opts.Interrupt != nil {
+		go func() {
+			select {
+			case <-opts.Interrupt:
+				interrupted.Store(true)
+				close(stop)
+			case <-finished:
+			}
+		}()
+	}
+
+	res := Result{Shards: make([]ShardStatus, opts.Shards)}
+	var wg sync.WaitGroup
+	for i := 0; i < opts.Shards; i++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			res.Shards[shard-1] = superviseShard(opts, shard, stop)
+		}(i + 1)
+	}
+	wg.Wait()
+	close(finished)
+
+	if res.Interrupted = interrupted.Load(); res.Interrupted {
+		return res, ErrInterrupted
+	}
+	return res, res.summaryErr()
+}
+
+// superviseShard owns one shard's attempt/retry loop.
+func superviseShard(opts Options, shard int, stop <-chan struct{}) ShardStatus {
+	st := ShardStatus{Shard: shard}
+	backoff := opts.Backoff
+	for attempt := 1; ; attempt++ {
+		st.Attempts = attempt
+		recs, err := runAttempt(opts, shard, attempt, stop)
+		if err == nil {
+			st.Records = recs
+			st.Err = nil
+			return st
+		}
+		st.Err = err
+		// Roll back whatever the dead attempt had already streamed: the
+		// retry re-runs the whole shard from scratch.
+		if len(recs) > 0 && opts.OnDiscard != nil {
+			opts.OnDiscard(shard, recs)
+		}
+		if errors.Is(err, ErrInterrupted) {
+			return st
+		}
+		if attempt > opts.Retries {
+			emit(opts, "worker_failed", map[string]any{
+				"shard": shard, "attempts": attempt, "error": err.Error(),
+			})
+			return st
+		}
+		emit(opts, "worker_retry", map[string]any{
+			"shard": shard, "attempt": attempt, "error": err.Error(),
+			"backoff_ms": float64(backoff) / float64(time.Millisecond),
+		})
+		timer := time.NewTimer(backoff)
+		select {
+		case <-stop:
+			timer.Stop()
+			st.Err = ErrInterrupted
+			return st
+		case <-timer.C:
+		}
+		if backoff *= 2; backoff > opts.MaxBackoff {
+			backoff = opts.MaxBackoff
+		}
+	}
+}
+
+// runAttempt spawns one worker, tails its record stream until the worker
+// exits (or the attempt times out, or an interrupt arrives), and decides
+// whether the attempt completed its shard. It returns the records streamed
+// so far in every case, so a failed attempt's partial output can be rolled
+// back by the caller.
+func runAttempt(opts Options, shard, attempt int, stop <-chan struct{}) ([]exp.Record, error) {
+	select {
+	case <-stop:
+		return nil, ErrInterrupted
+	default:
+	}
+	path := filepath.Join(opts.Dir, fmt.Sprintf("shard-%d-attempt-%d.jsonl", shard, attempt))
+	emit(opts, "worker_start", map[string]any{"shard": shard, "attempt": attempt, "stream": path})
+	w, err := opts.Spawn(shard, attempt, path)
+	if err != nil {
+		return nil, fmt.Errorf("spawn: %w", err)
+	}
+
+	tail := exp.NewTail(path)
+	defer tail.Close() //nolint:errcheck // read-only descriptor
+	var recs []exp.Record
+	drain := func() error {
+		fresh, err := tail.Poll()
+		for _, r := range fresh {
+			recs = append(recs, r)
+			if opts.OnRecord != nil {
+				opts.OnRecord(shard, r)
+			}
+		}
+		return err
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- w.Wait() }()
+	var timeoutC <-chan time.Time
+	if opts.Timeout > 0 {
+		timer := time.NewTimer(opts.Timeout)
+		defer timer.Stop()
+		timeoutC = timer.C
+	}
+	tick := time.NewTicker(pollInterval)
+	defer tick.Stop()
+
+	var exitErr error
+	for waiting := true; waiting; {
+		select {
+		case exitErr = <-done:
+			waiting = false
+		case <-tick.C:
+			if err := drain(); err != nil {
+				w.Kill()
+				<-done
+				return recs, fmt.Errorf("record stream: %w", err)
+			}
+		case <-timeoutC:
+			w.Kill()
+			<-done
+			return recs, fmt.Errorf("timeout after %s", opts.Timeout)
+		case <-stop:
+			w.Kill()
+			<-done
+			return recs, ErrInterrupted
+		}
+	}
+	if err := drain(); err != nil {
+		return recs, fmt.Errorf("record stream: %w", err)
+	}
+
+	// Completion is judged by the stream, not the exit status: the worker
+	// exits non-zero when scenarios fail, and failed scenarios are data. An
+	// incomplete stream — whatever the exit status — is a crash.
+	want := opts.Expected[shard-1]
+	if len(recs) != want || tail.Pending() {
+		reason := fmt.Sprintf("worker exited with %d of %d records", len(recs), want)
+		if tail.Pending() {
+			reason += " (died mid-record)"
+		}
+		if exitErr != nil {
+			reason = fmt.Sprintf("%s: %v", reason, exitErr)
+		}
+		if out := strings.TrimSpace(w.Output()); out != "" {
+			reason = fmt.Sprintf("%s; output: %s", reason, out)
+		}
+		return recs, errors.New(reason)
+	}
+	exit := "0"
+	if exitErr != nil {
+		exit = exitErr.Error()
+	}
+	emit(opts, "worker_done", map[string]any{
+		"shard": shard, "attempt": attempt, "records": len(recs), "exit": exit,
+	})
+	return recs, nil
+}
+
+func emit(opts Options, kind string, data map[string]any) {
+	if opts.OnEvent != nil {
+		opts.OnEvent(kind, data)
+	}
+}

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package fanout
+
+import "os/exec"
+
+// setProcGroup is a no-op where process groups are unavailable; Kill then
+// reaches only the immediate worker process.
+func setProcGroup(cmd *exec.Cmd) {}
+
+// killGroup terminates the worker process.
+func killGroup(cmd *exec.Cmd) {
+	if cmd.Process != nil {
+		cmd.Process.Kill() //nolint:errcheck // the process may already be gone
+	}
+}

@@ -1,0 +1,26 @@
+//go:build unix
+
+package fanout
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// setProcGroup puts the worker in its own process group, so killGroup can
+// take down anything it spawned and a terminal-delivered interrupt does not
+// race the supervisor's own shutdown.
+func setProcGroup(cmd *exec.Cmd) {
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+}
+
+// killGroup terminates the worker's whole process group; if the group is
+// already gone it falls back to the process itself.
+func killGroup(cmd *exec.Cmd) {
+	if cmd.Process == nil {
+		return
+	}
+	if err := syscall.Kill(-cmd.Process.Pid, syscall.SIGKILL); err != nil {
+		cmd.Process.Kill() //nolint:errcheck // the process may already be gone
+	}
+}

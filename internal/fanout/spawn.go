@@ -1,0 +1,73 @@
+package fanout
+
+import (
+	"os/exec"
+	"sync"
+)
+
+// ExecSpawn returns the real SpawnFunc: it runs bin with argsFor(shard,
+// path) as a subprocess in its own process group — so Kill takes down any
+// grandchildren too, and a terminal interrupt is delivered by the
+// supervisor rather than racing it — capturing a bounded tail of the
+// worker's combined stdout/stderr for failure reports.
+func ExecSpawn(bin string, argsFor func(shard int, path string) []string) SpawnFunc {
+	return func(shard, _ int, path string) (Worker, error) {
+		cmd := exec.Command(bin, argsFor(shard, path)...)
+		buf := &boundedBuffer{limit: 4096}
+		cmd.Stdout = buf
+		cmd.Stderr = buf
+		setProcGroup(cmd)
+		if err := cmd.Start(); err != nil {
+			return nil, err
+		}
+		return &procWorker{cmd: cmd, buf: buf}, nil
+	}
+}
+
+// procWorker adapts an exec.Cmd to the Worker interface.
+type procWorker struct {
+	cmd *exec.Cmd
+	buf *boundedBuffer
+}
+
+// Wait implements Worker.
+func (w *procWorker) Wait() error { return w.cmd.Wait() }
+
+// Kill implements Worker: the whole process group dies, not just the
+// immediate child.
+func (w *procWorker) Kill() { killGroup(w.cmd) }
+
+// Output implements Worker.
+func (w *procWorker) Output() string { return w.buf.String() }
+
+// boundedBuffer keeps the last limit bytes written to it — enough of a
+// crashed worker's output to diagnose it without an unbounded buffer per
+// worker. Safe for concurrent use (stdout and stderr share it).
+type boundedBuffer struct {
+	mu        sync.Mutex
+	limit     int
+	data      []byte
+	truncated bool
+}
+
+// Write implements io.Writer and never fails.
+func (b *boundedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.data = append(b.data, p...)
+	if len(b.data) > b.limit {
+		b.data = append(b.data[:0], b.data[len(b.data)-b.limit:]...)
+		b.truncated = true
+	}
+	return len(p), nil
+}
+
+// String returns the captured tail, marking truncation.
+func (b *boundedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.truncated {
+		return "..." + string(b.data)
+	}
+	return string(b.data)
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"syscall"
@@ -93,6 +94,17 @@ func runFanout(args []string, out io.Writer) (retErr error) {
 		return err
 	}
 
+	// Freeze the resolved spec (seed override included) next to the shard
+	// streams and hand every worker the frozen path: a *.json -matrix
+	// argument re-resolved per worker (and per retry) could have been edited
+	// since the parent expanded it, producing Expected-count mismatches or
+	// silently different scenarios. The frozen file is the sweep's single
+	// source of truth.
+	frozen := filepath.Join(streamDir, "matrix.json")
+	if err := exp.SaveMatrix(frozen, m); err != nil {
+		return err
+	}
+
 	spawn := testSpawn
 	if spawn == nil {
 		bin, err := os.Executable()
@@ -101,16 +113,13 @@ func runFanout(args []string, out io.Writer) (retErr error) {
 		}
 		spawn = fanout.ExecSpawn(bin, func(shard int, path string) []string {
 			a := []string{
-				"-matrix", *matrix,
+				"-matrix", frozen,
 				"-shard", fmt.Sprintf("%d/%d", shard, *shards),
 				"-jsonl", path,
 				"-timeout", timeout.String(),
 			}
 			if *workers > 0 {
 				a = append(a, "-workers", strconv.Itoa(*workers))
-			}
-			if *seed != 0 {
-				a = append(a, "-seed", strconv.FormatInt(*seed, 10))
 			}
 			return a
 		})

@@ -190,3 +190,91 @@ func TestFanoutFlagValidation(t *testing.T) {
 		t.Errorf("stray positional arg: err = %v", err)
 	}
 }
+
+// TestFanoutReusedDirMatchesFresh re-runs a fanout in a -dir still holding
+// the previous sweep's complete streams — the stale-stream race. The second
+// sweep runs a different seed, so any stale record the supervisor mistook
+// for fresh output would poison the merge; the snapshot must match a clean
+// unsharded run of the second sweep exactly.
+func TestFanoutReusedDirMatchesFresh(t *testing.T) {
+	dir := t.TempDir()
+	streams := filepath.Join(dir, "streams")
+	unsharded := filepath.Join(dir, "unsharded.json")
+	fanned := filepath.Join(dir, "fanned.json")
+
+	// Workers read the frozen spec like real ones, so the parent's -seed
+	// reaches them.
+	var out bytes.Buffer
+	withTestSpawn(t, inprocShardSpawn(filepath.Join(streams, "matrix.json"), 2))
+	if err := run([]string{"fanout", "-shards", "2", "-matrix", "quick", "-seed", "99", "-dir", streams}, &out); err != nil {
+		t.Fatalf("first sweep: %v\n%s", err, out.String())
+	}
+	// Same dir, different seed: every stale stream is wrong for this sweep.
+	if err := run([]string{"fanout", "-shards", "2", "-matrix", "quick", "-json", fanned, "-dir", streams}, &out); err != nil {
+		t.Fatalf("second sweep in the reused dir: %v\n%s", err, out.String())
+	}
+	if err := run([]string{"-matrix", "quick", "-json", unsharded}, &out); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := os.ReadFile(unsharded)
+	got, _ := os.ReadFile(fanned)
+	if !bytes.Equal(got, want) {
+		t.Error("snapshot from the reused -dir is not byte-identical to a fresh unsharded run")
+	}
+}
+
+// TestFanoutFrozenSpecSurvivesEdit pins the frozen-spec rule: a *.json
+// -matrix file rewritten mid-sweep (here between a crashing first attempt
+// and its retry) must not change what the workers run. Workers read the
+// frozen copy under the stream dir, so the snapshot still matches an
+// unsharded run of the spec as it was at launch.
+func TestFanoutFrozenSpecSurvivesEdit(t *testing.T) {
+	dir := t.TempDir()
+	streams := filepath.Join(dir, "streams")
+	spec := filepath.Join(dir, "spec.json")
+	unsharded := filepath.Join(dir, "unsharded.json")
+	fanned := filepath.Join(dir, "fanned.json")
+
+	const original = `{
+  "name": "frozen",
+  "topologies": [{"family": "path", "size": 9}, {"family": "star", "size": 9}],
+  "bandwidths": [32],
+  "backends": ["local"],
+  "algorithms": ["verify"],
+  "base_seed": 3
+}`
+	if err := os.WriteFile(spec, []byte(original), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-matrix", spec, "-json", unsharded}, &out); err != nil {
+		t.Fatalf("unsharded reference: %v", err)
+	}
+
+	frozen := filepath.Join(streams, "matrix.json")
+	withTestSpawn(t, func(shard, attempt int, path string) (fanout.Worker, error) {
+		if shard == 1 && attempt == 1 {
+			return startInproc(func() error {
+				// The sweep's spec file is rewritten under the supervisor: a
+				// different seed, a different sweep. Then the worker crashes,
+				// so the retry is what would re-read the spec.
+				edited := strings.Replace(original, `"base_seed": 3`, `"base_seed": 77`, 1)
+				if err := os.WriteFile(spec, []byte(edited), 0o644); err != nil {
+					return err
+				}
+				return errors.New("exit status 2")
+			}), nil
+		}
+		args := []string{"-matrix", frozen, "-shard", fmt.Sprintf("%d/2", shard), "-jsonl", path}
+		return startInproc(func() error { return run(args, io.Discard) }), nil
+	})
+	if err := run([]string{"fanout", "-shards", "2", "-matrix", spec, "-json", fanned, "-dir", streams}, &out); err != nil {
+		t.Fatalf("fanout across the spec edit: %v\n%s", err, out.String())
+	}
+
+	want, _ := os.ReadFile(unsharded)
+	got, _ := os.ReadFile(fanned)
+	if !bytes.Equal(got, want) {
+		t.Error("snapshot does not match the spec as launched; the edit leaked into a worker")
+	}
+}

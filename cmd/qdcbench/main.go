@@ -48,6 +48,21 @@
 //	qdcbench fanout -shards 4 -matrix default -json BENCH_default.json
 //	qdcbench fanout -shards 3 -matrix quick -events events.jsonl -progress 30s
 //
+// The serve subcommand turns the fanout supervisor into qdcd, a
+// long-running sweep control plane: an HTTP/JSON daemon that accepts matrix
+// jobs (POST /jobs), runs each job's shard slices on a persistent bounded
+// worker pool, streams records live (GET /jobs/{id}/records), and serves
+// the canonical merged snapshot (GET /jobs/{id}/snapshot — byte-identical
+// to an unsharded -json run) plus cross-job diffs (GET /jobs/{id}/diff).
+// Jobs persist under -state: a restarted daemon re-adopts finished jobs and
+// re-runs interrupted ones from their frozen specs. The submit subcommand
+// is the matching client — it submits a sweep, optionally waits it out, and
+// downloads the snapshot:
+//
+//	qdcbench serve -listen 127.0.0.1:8123 -state qdcd-state -pool 8
+//	qdcbench submit -addr http://127.0.0.1:8123 -matrix quick -shards 2 -wait
+//	qdcbench submit -matrix examples/matrix.json -shards 4 -json BENCH_default.json
+//
 // Observability rides along any matrix sweep without touching its results:
 // -metrics collects a deterministic per-scenario metrics block (per-round
 // message/bit/qubit histograms) that travels in the JSONL stream but is
@@ -146,6 +161,10 @@ func run(args []string, out io.Writer) error {
 		switch args[0] {
 		case "fanout":
 			return runFanout(args[1:], out)
+		case "serve":
+			return runServe(args[1:], out)
+		case "submit":
+			return runSubmit(args[1:], out)
 		case "merge":
 			return runMerge(args[1:], out)
 		case "trend":

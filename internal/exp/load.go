@@ -143,6 +143,28 @@ func LoadMatrix(path string) (Matrix, error) {
 	return m, nil
 }
 
+// SaveMatrix writes m to path as a JSON spec that LoadMatrix round-trips
+// into an identical Matrix — same name, axes and base seed, hence an
+// identical expansion with identical derived scenario seeds. This is the
+// frozen-spec rule of the fan-out paths: a supervisor (qdcbench fanout, the
+// qdcd daemon) resolves a -matrix argument exactly once, snapshots the
+// result next to the shard streams, and hands workers the frozen path — so
+// a *.json spec edited mid-sweep can never make a worker (or a retry) run a
+// silently different sweep than the one the parent expanded.
+func SaveMatrix(path string, m Matrix) error {
+	if err := m.Validate(); err != nil {
+		return fmt.Errorf("exp: %w", err)
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("exp: %s: %w", path, err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("exp: %w", err)
+	}
+	return nil
+}
+
 // ResolveMatrix turns a -matrix argument into a Matrix: a registered name
 // resolves through the registry, anything that looks like a file path
 // (a .json suffix or a path separator) loads from disk, and everything else

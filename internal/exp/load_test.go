@@ -3,6 +3,7 @@ package exp
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -145,5 +146,37 @@ func TestResolveMatrix(t *testing.T) {
 	}
 	if _, err := ResolveMatrix("no-such-file.json"); err == nil {
 		t.Error("a .json argument must resolve as a file, and a missing file must error")
+	}
+}
+
+// TestSaveMatrixRoundTrip: the frozen-spec file written at fan-out (or job
+// submission) must load back as the very matrix that was expanded, seed
+// override and all — the property that makes the frozen path a faithful
+// stand-in for the original -matrix argument.
+func TestSaveMatrixRoundTrip(t *testing.T) {
+	m, ok := LookupMatrix("quick")
+	if !ok {
+		t.Fatal("quick matrix not registered")
+	}
+	m.BaseSeed = 12345 // a submit-time -seed override travels in the frozen file
+
+	path := filepath.Join(t.TempDir(), "matrix.json")
+	if err := SaveMatrix(path, m); err != nil {
+		t.Fatalf("SaveMatrix: %v", err)
+	}
+	got, err := LoadMatrix(path)
+	if err != nil {
+		t.Fatalf("LoadMatrix: %v", err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("round-tripped matrix differs:\n got %+v\nwant %+v", got, m)
+	}
+	want, gotExp := m.Expand(), got.Expand()
+	if !reflect.DeepEqual(gotExp, want) {
+		t.Errorf("round-tripped expansion differs: %d vs %d scenarios", len(gotExp), len(want))
+	}
+
+	if err := SaveMatrix(filepath.Join(t.TempDir(), "bad.json"), Matrix{Name: "empty"}); err == nil {
+		t.Error("SaveMatrix must refuse an invalid matrix")
 	}
 }

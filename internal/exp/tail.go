@@ -9,6 +9,14 @@ import (
 	"os"
 )
 
+// ErrTruncated is the permanent error Tail.Poll returns when the tailed
+// file shrank below the bytes already consumed: something rewrote the
+// stream under the tail (a worker re-created a file another attempt owned,
+// an operator truncated it), so everything decoded so far is suspect and
+// the failure report must name the real cause instead of timing out on a
+// stream that silently reads as empty forever.
+var ErrTruncated = errors.New("stream truncated")
+
 // Tail incrementally decodes Records from a JSONL stream that another
 // process is still appending to — the live view a fan-out supervisor keeps
 // on each worker's -jsonl output. Poll returns the records whose lines have
@@ -19,6 +27,8 @@ type Tail struct {
 	path string
 	f    *os.File
 	buf  []byte // bytes read past the last complete line
+	off  int64  // bytes consumed from the file so far
+	err  error  // permanent stream failure (truncation), sticky across polls
 }
 
 // NewTail returns a tail over path. The file need not exist yet: the worker
@@ -29,8 +39,15 @@ func NewTail(path string) *Tail { return &Tail{path: path} }
 // Poll decodes every record appended as a complete line since the last
 // call. A file that does not exist yet reads as empty; a complete line that
 // fails to decode is a permanent error (the stream is corrupt, not merely
-// short), returned along with the records decoded before it.
+// short), returned along with the records decoded before it; a file that
+// shrank below the consumed offset is a permanent ErrTruncated — a plain
+// read at the stale offset would silently return nothing forever, and the
+// attempt would die as a generic incomplete-stream timeout instead of
+// naming the truncation.
 func (t *Tail) Poll() ([]Record, error) {
+	if t.err != nil {
+		return nil, t.err
+	}
 	if t.f == nil {
 		f, err := os.Open(t.path)
 		if errors.Is(err, os.ErrNotExist) {
@@ -41,7 +58,15 @@ func (t *Tail) Poll() ([]Record, error) {
 		}
 		t.f = f
 	}
+	if fi, err := t.f.Stat(); err != nil {
+		return nil, fmt.Errorf("exp: %s: %w", t.path, err)
+	} else if fi.Size() < t.off {
+		t.err = fmt.Errorf("exp: %s: %w (consumed %d bytes, file now %d)",
+			t.path, ErrTruncated, t.off, fi.Size())
+		return nil, t.err
+	}
 	data, err := io.ReadAll(t.f)
+	t.off += int64(len(data))
 	if len(data) > 0 {
 		t.buf = append(t.buf, data...)
 	}

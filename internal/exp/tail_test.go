@@ -2,6 +2,7 @@ package exp
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -72,5 +73,40 @@ func TestTailStreamsCompletedLines(t *testing.T) {
 	write([]byte("{\"scenario\": TRUNC}\n"))
 	if _, err := tail.Poll(); err == nil || !strings.Contains(err.Error(), path) {
 		t.Fatalf("corrupt line error = %v, want one naming the stream", err)
+	}
+}
+
+// TestTailDetectsTruncation pins the truncation contract: a stream file
+// that shrinks below the bytes already consumed (a worker wrapper recreated
+// the file, an operator truncated it) is a permanent ErrTruncated, sticky
+// across polls — not a silent empty read that would let the supervisor
+// judge the shard complete on bytes that no longer exist.
+func TestTailDetectsTruncation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stream.jsonl")
+	tail := NewTail(path)
+	defer tail.Close()
+
+	mk := func(name string) []byte {
+		r := Record{OK: true}
+		r.Scenario.Name = name
+		line, _ := json.Marshal(r)
+		return append(line, '\n')
+	}
+	if err := os.WriteFile(path, append(mk("one"), mk("two")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := tail.Poll()
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("first poll: recs=%v err=%v, want both records", recs, err)
+	}
+
+	if err := os.Truncate(path, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tail.Poll(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("poll after truncation = %v, want ErrTruncated", err)
+	}
+	if _, err := tail.Poll(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("repeated poll = %v, want the sticky ErrTruncated", err)
 	}
 }

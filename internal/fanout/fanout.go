@@ -270,6 +270,14 @@ func runAttempt(opts Options, shard, attempt int, stop <-chan struct{}) ([]exp.R
 	default:
 	}
 	path := filepath.Join(opts.Dir, fmt.Sprintf("shard-%d-attempt-%d.jsonl", shard, attempt))
+	// A reused Dir (qdcbench fanout -dir, the daemon's persistent state dir)
+	// may hold a complete stream left behind by a previous sweep under this
+	// very name. Tailing it before the new worker truncates it would let the
+	// supervisor judge the shard complete without the worker having produced
+	// anything, so the stale file must be gone before the worker can exist.
+	if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("removing stale stream %s: %w", path, err)
+	}
 	emit(opts, "worker_start", map[string]any{"shard": shard, "attempt": attempt, "stream": path})
 	w, err := opts.Spawn(shard, attempt, path)
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -371,4 +372,36 @@ func TestExecSpawnRealProcess(t *testing.T) {
 			t.Errorf("kill took %s; the sleep was not actually terminated", elapsed)
 		}
 	})
+}
+
+// TestStaleStreamRemovedBeforeSpawn is the stale-stream regression gate: a
+// reused Dir holding a complete stream from a previous sweep must not be
+// mistaken for this sweep's output. The supervisor removes the stale file
+// before spawning, so the shard's records come from the fresh attempt —
+// against the pre-fix runAttempt this test fails, with the tail racing
+// ahead on the stale bytes and completing the shard with the wrong records.
+func TestStaleStreamRemovedBeforeSpawn(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, "shard-1-attempt-1.jsonl")
+	writeLines(t, stale, "stale-a", "stale-b")
+
+	spawn := func(shard, attempt int, path string) (Worker, error) {
+		if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("stale stream still present at spawn time: stat err = %v", err)
+		}
+		w := newStubWorker()
+		writeLines(t, path, "fresh-a", "fresh-b")
+		w.finish(nil)
+		return w, nil
+	}
+	opts := baseOptions(t, 1, []int{2}, spawn)
+	opts.Dir = dir
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	recs := res.Shards[0].Records
+	if len(recs) != 2 || recs[0].Scenario.Name != "fresh-a" || recs[1].Scenario.Name != "fresh-b" {
+		t.Errorf("records = %+v, want the fresh attempt's, not the stale file's", recs)
+	}
 }

@@ -444,25 +444,31 @@ func startHeartbeat(out io.Writer, every time.Duration, status *exp.Status) (sto
 
 // runRoundBench runs the round-loop benchmark matrix — the deterministic
 // companion of internal/congest's BenchmarkRoundLoop* — prints the measured
-// throughput, and writes or folds the records into a canonical snapshot.
+// throughput and peak heap, and writes or folds the records into a
+// canonical snapshot. Because each record carries the process heap
+// high-water mark, the scenarios run one at a time (-workers is accepted
+// for interface symmetry with matrix mode but heap measurement overrides
+// it; pass -measure-heap=false to get a concurrent, heapless run).
 func runRoundBench(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("qdcbench roundbench", flag.ContinueOnError)
 	jsonOut := fs.String("json", "", "write the round-loop records alone as a canonical snapshot to this file")
 	appendTo := fs.String("append", "", "fold the round-loop records into this snapshot file (created if absent), replacing same-named records")
-	workers := fs.Int("workers", 0, "concurrent scenario executions (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "concurrent scenario executions (0 = GOMAXPROCS; ignored while -measure-heap is on)")
 	timeout := fs.Duration("timeout", exp.DefaultTimeout, "per-scenario wall-clock budget")
+	measureHeap := fs.Bool("measure-heap", true, "sample the heap high-water mark per scenario (serialises the pool)")
+	matrix := fs.String("matrix", "roundbench", "the matrix to run (registered name or *.json path)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("roundbench takes no positional arguments (use -json/-append)")
 	}
-	m, ok := exp.LookupMatrix("roundbench")
-	if !ok {
-		return fmt.Errorf("the roundbench matrix is not registered")
+	m, err := exp.ResolveMatrix(*matrix)
+	if err != nil {
+		return err
 	}
 	collect := &exp.Collect{}
-	sum, err := exp.Execute(m.Expand(), exp.ExecOptions{Workers: *workers, Timeout: *timeout}, collect)
+	sum, err := exp.Execute(m.Expand(), exp.ExecOptions{Workers: *workers, Timeout: *timeout, MeasureHeap: *measureHeap}, collect)
 	if err != nil {
 		return err
 	}
@@ -473,8 +479,12 @@ func runRoundBench(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "  FAIL %-40s %s%s\n", r.Scenario.Name, r.Error, r.Detail)
 			continue
 		}
-		fmt.Fprintf(out, "  %-40s rounds=%-6d bits=%-10d %12.0f node-rounds/sec\n",
-			r.Scenario.Name, r.Stats.Rounds, r.Stats.Bits, exp.NodeRoundsPerSec(r))
+		heap := ""
+		if r.PeakHeapBytes > 0 {
+			heap = fmt.Sprintf("  peak-heap=%.1fMB", float64(r.PeakHeapBytes)/(1<<20))
+		}
+		fmt.Fprintf(out, "  %-40s rounds=%-6d bits=%-10d %12.0f node-rounds/sec%s\n",
+			r.Scenario.Name, r.Stats.Rounds, r.Stats.Bits, exp.NodeRoundsPerSec(r), heap)
 	}
 
 	writeSnapshot := func(path string, records []exp.Record) error {

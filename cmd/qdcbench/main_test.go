@@ -28,6 +28,17 @@ const pairSpec = `{
   "base_seed": 1
 }`
 
+// roundSpec is a light stand-in for the registered roundbench matrix: the
+// same flood shapes minus the n=100k cell, so the CLI test exercises the
+// full -append/-measure-heap flow in seconds even under -race.
+const roundSpec = `{
+  "topologies": [{"family": "path", "size": 1025}, {"family": "grid", "size": 4096}],
+  "bandwidths": [64],
+  "backends": ["local", "parallel"],
+  "algorithms": ["flood"],
+  "base_seed": 1
+}`
+
 const subsetSpec = `{
   "topologies": [{"family": "path", "size": 5}],
   "bandwidths": [32],
@@ -222,13 +233,14 @@ func TestRoundBenchCLI(t *testing.T) {
 	dir := t.TempDir()
 	snap := filepath.Join(dir, "bench-smoke.json")
 	spec := writeFile(t, dir, "pair.json", pairSpec)
+	rounds := writeFile(t, dir, "rounds.json", roundSpec)
 
 	var out bytes.Buffer
 	if err := run([]string{"-matrix", spec, "-json", snap}, &out); err != nil {
 		t.Fatal(err)
 	}
 	out.Reset()
-	if err := run([]string{"roundbench", "-append", snap}, &out); err != nil {
+	if err := run([]string{"roundbench", "-matrix", rounds, "-append", snap}, &out); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -247,7 +259,7 @@ func TestRoundBenchCLI(t *testing.T) {
 	}
 
 	// Re-appending the same deterministic records must not change a byte.
-	if err := run([]string{"roundbench", "-append", snap}, &out); err != nil {
+	if err := run([]string{"roundbench", "-matrix", rounds, "-append", snap}, &out); err != nil {
 		t.Fatal(err)
 	}
 	second, err := os.ReadFile(snap)
@@ -260,7 +272,7 @@ func TestRoundBenchCLI(t *testing.T) {
 
 	// -append also bootstraps a missing snapshot.
 	fresh := filepath.Join(dir, "fresh.json")
-	if err := run([]string{"roundbench", "-json", fresh}, &out); err != nil {
+	if err := run([]string{"roundbench", "-matrix", rounds, "-json", fresh}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(fresh); err != nil {

@@ -24,6 +24,43 @@ func measureRunAllocs(t *testing.T, topo Topology, workers, rounds int) float64 
 	})
 }
 
+// TestAppendConstructorsAllocFree pins the contract the Into constructors
+// advertise: appending into a slice with retained capacity allocates nothing,
+// so a node that keeps one outbox across rounds builds its messages entirely
+// off the heap. The boxed variants are measured with a pre-boxed payload —
+// boxing itself is the caller's business; the constructors must add nothing.
+func TestAppendConstructorsAllocFree(t *testing.T) {
+	nw, err := NewNetwork(graph.Star(8), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hub *Context
+	if _, err := nw.Run(func(ctx *Context) Node {
+		if ctx.ID() == 0 {
+			hub = ctx
+		}
+		return &benchFloodNode{rounds: 0}
+	}, Options{MaxRounds: 4}); err != nil {
+		t.Fatal(err)
+	}
+	neighbors := hub.Neighbors()
+	var payload any = 1
+	dst := make([]Message, 0, 64)
+	cases := map[string]func(){
+		"AppendMessage":         func() { dst = AppendMessage(dst[:0], 1, payload, 8) },
+		"AppendWordMessage":     func() { dst = AppendWordMessage(dst[:0], 1, 1, 7, 0, 8) },
+		"BroadcastInto":         func() { dst = BroadcastInto(dst[:0], neighbors, payload, 8) },
+		"BroadcastWordsInto":    func() { dst = BroadcastWordsInto(dst[:0], neighbors, 1, 7, 0, 8) },
+		"BroadcastAllInto":      func() { dst = BroadcastAllInto(dst[:0], hub, payload, 8) },
+		"BroadcastAllWordsInto": func() { dst = BroadcastAllWordsInto(dst[:0], hub, 1, 7, 0, 8) },
+	}
+	for name, f := range cases {
+		if allocs := testing.AllocsPerRun(100, f); allocs != 0 {
+			t.Errorf("%s: %.1f allocs per call into retained capacity, want 0", name, allocs)
+		}
+	}
+}
+
 // TestRoundLoopSteadyStateAllocFree pins the tentpole guarantee: once a
 // run's buffers have warmed up (a handful of rounds), extra rounds allocate
 // nothing. Two runs of the same workload that differ only in round count

@@ -37,6 +37,26 @@ func (f *benchFloodNode) Round(ctx *Context, round int, inbox []Message) ([]Mess
 	return f.outbox, false
 }
 
+// benchFloodWordsNode is benchFloodNode with a word-encoded outbox: the same
+// traffic shape carried in Message.W0 under a kind tag instead of a boxed
+// payload. Benchmarked against the boxed variant it isolates what the word
+// encoding saves on the delivery path (no interface headers in the inboxes).
+type benchFloodWordsNode struct {
+	rounds int
+	outbox []Message
+}
+
+func (f *benchFloodWordsNode) Init(ctx *Context) {
+	f.outbox = BroadcastAllWords(ctx, 1, 1, 0, 8)
+}
+
+func (f *benchFloodWordsNode) Round(ctx *Context, round int, inbox []Message) ([]Message, bool) {
+	if round > f.rounds {
+		return nil, true
+	}
+	return f.outbox, false
+}
+
 // benchPingPongNode sends one message per round to a single partner: node
 // 2k exchanges with node 2k+1 along a path. Traffic is two messages per
 // node pair per round, so this measures the loop's fixed per-round overhead
@@ -107,6 +127,26 @@ func BenchmarkRoundLoopFlood(b *testing.B) {
 			b.Run(fmt.Sprintf("grid%d/workers=%d", side*side, workers), func(b *testing.B) {
 				runRoundLoopBench(b, topo, workers, rounds, func(*Context) Node {
 					return &benchFloodNode{rounds: rounds}
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkRoundLoopFloodWords is BenchmarkRoundLoopFlood with word-encoded
+// messages — the data plane the migrated internal/dist programs run on. The
+// CI bench-smoke job picks it up alongside the boxed variant via -bench
+// RoundLoop, so the word path's throughput and allocs/round are tracked on
+// every push.
+func BenchmarkRoundLoopFloodWords(b *testing.B) {
+	const rounds = 64
+	for _, n := range []int{1024, 10_000, 100_000} {
+		side := intSqrt(n)
+		topo := graph.Grid(side, side)
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("grid%d/workers=%d", side*side, workers), func(b *testing.B) {
+				runRoundLoopBench(b, topo, workers, rounds, func(*Context) Node {
+					return &benchFloodWordsNode{rounds: rounds}
 				})
 			})
 		}

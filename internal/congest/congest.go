@@ -15,6 +15,17 @@
 // exact accounting, while package quantum provides the quantum primitives
 // (EPR pairs, teleportation, Grover search) whose costs are plugged into the
 // same accounting (see DESIGN.md, substitution table).
+//
+// The simulator is engineered for scale: the round loop is steady-state
+// allocation-free (CSR edge index, double-buffered inboxes/outboxes, a
+// write-disjoint parallel merge behind Options.Workers), messages carry
+// small contents word-encoded in two inline uint64s instead of a boxed
+// Payload (see payload.go — Kind/W0/W1, with boxed `any` kept as the escape
+// hatch), and a topology implementing IndexedTopology (such as *graph.CSR,
+// built by the streaming graph.Builder) is adopted without per-node copies
+// or sorts. Together these carry the same bit-exact accounting from the
+// paper-sized networks up to million-node topologies; see DESIGN.md,
+// "The congest hot path" and "Compact payloads and streaming topologies".
 package congest
 
 import (
@@ -32,13 +43,21 @@ const DefaultBandwidth = 32
 
 // Message is a single message sent over one edge in one round.
 //
-// Payload is opaque to the simulator; Bits is the number of bits the payload
-// occupies on the wire and is what the bandwidth limit is charged against.
-// Helper constructors in this package compute Bits for common payloads.
+// A message carries its content in one of two representations. Word-encoded
+// messages (Kind != KindBoxed) pack the content into the two inline words W0
+// and W1 — no heap allocation, no interface header, no type assertion on
+// delivery — and are what the hot-path algorithms in internal/dist send.
+// Boxed messages (Kind == KindBoxed) carry arbitrary structured content in
+// Payload; they remain the escape hatch for payloads that do not fit two
+// words (quantum state references, variable-length chunks). The simulator
+// treats both identically: only Bits is charged against the bandwidth
+// budget, and the merge, trace and accounting paths never look inside
+// either representation.
 type Message struct {
 	// From and To are node IDs; To must be a neighbour of From.
 	From, To int
-	// Payload is the message content, interpreted by the receiving node.
+	// Payload is the boxed message content, interpreted by the receiving
+	// node. It is nil for word-encoded messages.
 	Payload any
 	// Bits is the size charged against the per-edge, per-round budget.
 	Bits int
@@ -50,6 +69,16 @@ type Message struct {
 	// Grover re-accounting backend (engine.NewQuantum) and any future
 	// genuinely quantum node program feed on.
 	Quantum bool
+	// Kind tags a word-encoded message. KindBoxed (the zero value) means
+	// the content is in Payload; any other value is algorithm-defined and
+	// says how to decode W0/W1. Kinds are scoped to one node program — the
+	// simulator never interprets them — so algorithms declare their own
+	// small constants starting at 1.
+	Kind uint8
+	// W0 and W1 are the inline payload words of a word-encoded message.
+	// The typed accessors (Int0, Int1, Bool0, …) and the pack helpers
+	// (PackIDs, WordFromBool) in payload.go are the supported encodings.
+	W0, W1 uint64
 }
 
 // Node is the per-processor state machine supplied by an algorithm.
@@ -87,6 +116,11 @@ type Context struct {
 	// are a rank scan instead of a hash.
 	weights []float64
 	input   any
+	// rng is built lazily from rngSeed on the first Rand() call: a
+	// rand.Rand is several kilobytes of generator state, which at
+	// million-node scale would dwarf the topology itself, and most node
+	// programs never draw randomness.
+	rngSeed int64
 	rng     *rand.Rand
 
 	output    any
@@ -172,8 +206,15 @@ func (c *Context) Input() any { return c.input }
 // Rand returns this node's private deterministic random source. Nodes at
 // different IDs receive independent streams; re-running the same network
 // with the same seed reproduces the same stream (the paper's algorithms are
-// Monte Carlo, so reproducibility matters for tests).
-func (c *Context) Rand() *rand.Rand { return c.rng }
+// Monte Carlo, so reproducibility matters for tests). The source is
+// constructed on first use, so runs whose node programs never draw
+// randomness pay nothing for it.
+func (c *Context) Rand() *rand.Rand {
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(c.rngSeed))
+	}
+	return c.rng
+}
 
 // SetOutput records the node's final output for the problem being solved.
 func (c *Context) SetOutput(v any) {
@@ -207,6 +248,23 @@ type Topology interface {
 	N() int
 	Neighbors(v int) []int
 	Weight(u, v int) (float64, bool)
+}
+
+// IndexedTopology is the optional fast-path extension of Topology: a
+// topology that can enumerate each vertex's incident edges by rank, in
+// ascending neighbour-ID order, without allocating. For such a topology the
+// simulator builds every per-node context from two shared flat arrays — no
+// per-node Neighbors copy, no per-node sort, no per-edge Weight lookup —
+// which is what makes million-node run construction feasible. *graph.CSR
+// implements it; implementations must return neighbours in strictly
+// ascending ID order or the simulator's edge index is undefined.
+type IndexedTopology interface {
+	Topology
+	// Degree returns the number of neighbours of v.
+	Degree(v int) int
+	// Neighbor returns the i-th neighbour of v in ascending-ID order and
+	// the weight of the connecting edge, 0 <= i < Degree(v).
+	Neighbor(v, i int) (int, float64)
 }
 
 // Network is a configured CONGEST(B) network ready to run algorithms.
@@ -432,28 +490,66 @@ func newRunState(nw *Network, factory NodeFactory, opts Options) (*runState, err
 		res:  &Result{Outputs: make(map[int]any, n)},
 	}
 
+	// Contexts are slab-allocated: one backing array instead of n small
+	// heap objects. An IndexedTopology additionally gets its neighbour and
+	// weight lists carved out of two shared flat arrays (already sorted by
+	// contract), skipping the per-node copy/sort/Weight-lookup detour of
+	// the generic path.
 	st.ctxs = make([]*Context, n)
 	st.nodes = make([]Node, n)
-	for v := 0; v < n; v++ {
-		nbrs := nw.topo.Neighbors(v)
-		sort.Ints(nbrs)
-		neighbors := make([]int, 0, len(nbrs))
-		weights := make([]float64, 0, len(nbrs))
-		for _, u := range nbrs {
-			if w, ok := nw.topo.Weight(v, u); ok {
-				neighbors = append(neighbors, u)
-				weights = append(weights, w)
+	ctxSlab := make([]Context, n)
+	if ix, ok := nw.topo.(IndexedTopology); ok {
+		total := 0
+		for v := 0; v < n; v++ {
+			total += ix.Degree(v)
+		}
+		flatNbrs := make([]int, total)
+		flatWts := make([]float64, total)
+		pos := 0
+		for v := 0; v < n; v++ {
+			deg := ix.Degree(v)
+			nbrs := flatNbrs[pos : pos+deg : pos+deg]
+			wts := flatWts[pos : pos+deg : pos+deg]
+			for i := 0; i < deg; i++ {
+				nbrs[i], wts[i] = ix.Neighbor(v, i)
 			}
+			pos += deg
+			ctxSlab[v] = Context{
+				id:        v,
+				n:         n,
+				bandwidth: nw.bandwidth,
+				neighbors: nbrs,
+				weights:   wts,
+				input:     nw.inputs[v],
+				rngSeed:   nw.seed*1_000_003 + int64(v),
+			}
+			st.ctxs[v] = &ctxSlab[v]
 		}
-		st.ctxs[v] = &Context{
-			id:        v,
-			n:         n,
-			bandwidth: nw.bandwidth,
-			neighbors: neighbors,
-			weights:   weights,
-			input:     nw.inputs[v],
-			rng:       rand.New(rand.NewSource(nw.seed*1_000_003 + int64(v))),
+	} else {
+		for v := 0; v < n; v++ {
+			nbrs := nw.topo.Neighbors(v)
+			sort.Ints(nbrs)
+			neighbors := make([]int, 0, len(nbrs))
+			weights := make([]float64, 0, len(nbrs))
+			for _, u := range nbrs {
+				if w, ok := nw.topo.Weight(v, u); ok {
+					neighbors = append(neighbors, u)
+					weights = append(weights, w)
+				}
+			}
+			ctxSlab[v] = Context{
+				id:        v,
+				n:         n,
+				bandwidth: nw.bandwidth,
+				neighbors: neighbors,
+				weights:   weights,
+				input:     nw.inputs[v],
+				rngSeed:   nw.seed*1_000_003 + int64(v),
+			}
+			st.ctxs[v] = &ctxSlab[v]
 		}
+	}
+	for v := 0; v < n; v++ {
 		st.nodes[v] = factory(st.ctxs[v])
 		if st.nodes[v] == nil {
 			return nil, fmt.Errorf("congest: factory returned nil node for id %d", v)

@@ -1,0 +1,135 @@
+package congest
+
+import (
+	"reflect"
+	"testing"
+)
+
+// mixedBoxed is the boxed payload of the mixed workload, a struct so the
+// message genuinely round-trips through the interface path.
+type mixedBoxed struct {
+	Round int
+	Hops  int
+}
+
+// mixedPayloadNode sends word-encoded, boxed and quantum messages side by
+// side in the same rounds: per neighbour the class rotates with the round, so
+// every inbox interleaves all three representations. The node folds what it
+// receives into a running digest it outputs at the end, which makes the
+// outputs sensitive to every delivered message of every class.
+type mixedPayloadNode struct {
+	rounds int
+	digest uint64
+}
+
+const (
+	kindMixedInts  uint8 = 2
+	kindMixedFlags uint8 = 3
+)
+
+func (m *mixedPayloadNode) Init(*Context) {}
+
+func (m *mixedPayloadNode) Round(ctx *Context, round int, inbox []Message) ([]Message, bool) {
+	for i := range inbox {
+		msg := &inbox[i]
+		switch {
+		case msg.Kind == kindMixedInts:
+			u, v := UnpackIDs(msg.W0)
+			m.digest = m.digest*31 + uint64(u) + uint64(v)<<8 + msg.W1
+		case msg.Kind == kindMixedFlags:
+			m.digest = m.digest*31 + WordFromBool(msg.Bool0()) + 2*WordFromBool(msg.Bool1())
+		case msg.Quantum:
+			m.digest = m.digest*31 + uint64(msg.Payload.(int))
+		default:
+			b := msg.Payload.(mixedBoxed)
+			m.digest = m.digest*31 + uint64(b.Round)<<4 + uint64(b.Hops)
+		}
+	}
+	if round > m.rounds {
+		ctx.SetOutput(m.digest)
+		return nil, true
+	}
+	var out []Message
+	for i := 0; i < ctx.Degree(); i++ {
+		u := ctx.NeighborAt(i)
+		switch (ctx.ID() + u + round) % 4 {
+		case 0:
+			out = AppendWordMessage(out, u, kindMixedInts, PackIDs(ctx.ID(), u), uint64(round), 2+round%7)
+		case 1:
+			out = AppendWordMessage(out, u, kindMixedFlags,
+				WordFromBool(round%2 == 0), WordFromBool(ctx.ID() < u), 2)
+		case 2:
+			out = append(out, NewQubitMessage(u, 3+ctx.Rand().Intn(5), 3+round%3))
+		default:
+			out = AppendMessage(out, u, mixedBoxed{Round: round, Hops: ctx.ID() % 5}, 4+round%5)
+		}
+	}
+	return out, false
+}
+
+// runMixed executes the mixed workload and returns the Result plus the full
+// traced message stream — Kind, W0/W1, Payload and Quantum included, since
+// both merge paths run the same program and must agree on the representation
+// itself, not just the accounting projection.
+func runMixed(t *testing.T, workers int) (*Result, []traceEvent) {
+	t.Helper()
+	nw, err := NewNetwork(ring(41), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.SetSeed(29)
+	var events []traceEvent
+	res, err := nw.Run(func(*Context) Node { return &mixedPayloadNode{rounds: 17} },
+		Options{
+			Workers:  workers,
+			PerRound: true,
+			Trace: func(round int, msg Message) {
+				events = append(events, traceEvent{Round: round, Msg: msg})
+			},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, events
+}
+
+// TestMixedPayloadsIdenticalAcrossWorkers pins the data plane's contract for
+// a workload that interleaves word-encoded, boxed and quantum messages in the
+// same rounds: the full Result (rounds, bit and message totals, the quantum
+// split, per-round traffic, the digest outputs) and the complete trace stream
+// are identical whether the merge runs sequentially or on a worker pool.
+func TestMixedPayloadsIdenticalAcrossWorkers(t *testing.T) {
+	seqRes, seqEvents := runMixed(t, 0)
+
+	// The workload must genuinely mix all three representations.
+	var words, boxed, quantum int
+	for _, ev := range seqEvents {
+		switch {
+		case ev.Msg.IsWord():
+			words++
+		case ev.Msg.Quantum:
+			quantum++
+		default:
+			boxed++
+		}
+	}
+	if words == 0 || boxed == 0 || quantum == 0 {
+		t.Fatalf("workload must mix word/boxed/quantum traffic, got %d/%d/%d", words, boxed, quantum)
+	}
+	if seqRes.QuantumBits == 0 || seqRes.QuantumBits >= seqRes.TotalBits {
+		t.Fatalf("quantum accounting off: %d of %d bits", seqRes.QuantumBits, seqRes.TotalBits)
+	}
+	if seqRes.TotalMessages != len(seqEvents) {
+		t.Fatalf("trace saw %d events for %d delivered messages", len(seqEvents), seqRes.TotalMessages)
+	}
+
+	for _, workers := range []int{1, 4} {
+		res, events := runMixed(t, workers)
+		if !reflect.DeepEqual(seqRes, res) {
+			t.Errorf("Workers=%d: Result diverged from sequential:\nseq %+v\ngot %+v", workers, seqRes, res)
+		}
+		if !reflect.DeepEqual(seqEvents, events) {
+			t.Errorf("Workers=%d: trace stream diverged (%d vs %d events)", workers, len(seqEvents), len(events))
+		}
+	}
+}

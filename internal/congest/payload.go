@@ -35,10 +35,64 @@ const BitsForWeight = 64
 // BitsForBool is the size of a single flag.
 const BitsForBool = 1
 
-// NewMessage builds a message to the given neighbour with an explicit bit
-// size. From is filled in by the simulator.
+// Word-encoded payloads. A message whose content fits two 64-bit words can
+// travel inline in Message.W0/W1 under an algorithm-defined Kind tag instead
+// of being boxed into Payload — no allocation when the message is built, no
+// type assertion when it is delivered. The wire cost is whatever Bits says
+// in either representation; the encoding never changes the accounting.
+//
+// Encoding conventions used across internal/dist:
+//   - a small non-negative integer is stored directly in a word (Int0/Int1);
+//   - a flag is stored as 0/1 (WordFromBool/Bool0);
+//   - two node IDs share one word via PackIDs/UnpackIDs (32 bits each);
+//   - a float64 travels as math.Float64bits in a word.
+//
+// KindBoxed is the zero value, so plain NewMessage/Broadcast payloads remain
+// boxed without any change.
+const KindBoxed uint8 = 0
+
+// IsWord reports whether the message is word-encoded (Kind != KindBoxed).
+func (m *Message) IsWord() bool { return m.Kind != KindBoxed }
+
+// Int0 returns W0 as a small non-negative integer.
+func (m *Message) Int0() int { return int(m.W0) }
+
+// Int1 returns W1 as a small non-negative integer.
+func (m *Message) Int1() int { return int(m.W1) }
+
+// Bool0 returns W0 as a flag (non-zero means true).
+func (m *Message) Bool0() bool { return m.W0 != 0 }
+
+// Bool1 returns W1 as a flag (non-zero means true).
+func (m *Message) Bool1() bool { return m.W1 != 0 }
+
+// WordFromBool encodes a flag as a payload word.
+func WordFromBool(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// PackIDs packs two node IDs into one payload word, 32 bits each. IDs are
+// bounded by n, far below 2^32 for any simulable network.
+func PackIDs(u, v int) uint64 { return uint64(uint32(u))<<32 | uint64(uint32(v)) }
+
+// UnpackIDs is the inverse of PackIDs.
+func UnpackIDs(w uint64) (u, v int) { return int(w >> 32), int(uint32(w)) }
+
+// NewMessage builds a boxed message to the given neighbour with an explicit
+// bit size. From is filled in by the simulator.
 func NewMessage(to int, payload any, bits int) Message {
 	return Message{To: to, Payload: payload, Bits: bits}
+}
+
+// NewWordMessage builds a word-encoded message to the given neighbour: kind
+// tags the encoding (an algorithm-defined constant >= 1), w0 and w1 are the
+// inline payload words, and bits is the wire size charged, exactly as for a
+// boxed message. From is filled in by the simulator.
+func NewWordMessage(to int, kind uint8, w0, w1 uint64, bits int) Message {
+	return Message{To: to, Kind: kind, W0: w0, W1: w1, Bits: bits}
 }
 
 // NewQubitMessage builds a quantum-marked message carrying the given number
@@ -58,6 +112,13 @@ func Broadcast(neighbors []int, payload any, bits int) []Message {
 	return out
 }
 
+// BroadcastWords builds one identical word-encoded message per listed
+// neighbour.
+func BroadcastWords(neighbors []int, kind uint8, w0, w1 uint64, bits int) []Message {
+	out := make([]Message, 0, len(neighbors))
+	return BroadcastWordsInto(out, neighbors, kind, w0, w1, bits)
+}
+
 // BroadcastAll builds one identical message per neighbour of ctx. It is the
 // hot-path form of Broadcast(ctx.Neighbors(), ...): the same messages
 // without first copying the neighbour list. The returned slice is owned by
@@ -69,4 +130,73 @@ func BroadcastAll(ctx *Context, payload any, bits int) []Message {
 		out[i] = Message{To: ctx.NeighborAt(i), Payload: payload, Bits: bits}
 	}
 	return out
+}
+
+// BroadcastAllWords is BroadcastAll for a word-encoded payload.
+func BroadcastAllWords(ctx *Context, kind uint8, w0, w1 uint64, bits int) []Message {
+	out := make([]Message, ctx.Degree())
+	for i := range out {
+		out[i] = Message{To: ctx.NeighborAt(i), Kind: kind, W0: w0, W1: w1, Bits: bits}
+	}
+	return out
+}
+
+// Append variants. The constructors above allocate a fresh slice per call;
+// a node that sends every round should instead keep one outbox slice and
+// append into it with the Into forms below — append against retained
+// capacity allocates nothing, so steady-state message construction stays
+// off the heap (pinned by allocs_test.go). The pattern is
+//
+//	n.outbox = congest.BroadcastAllWordsInto(n.outbox[:0], ctx, kind, w0, w1, bits)
+//	return n.outbox, false
+//
+// which is safe because the simulator copies messages out of the outbox
+// during the round's merge and never retains the slice.
+
+// AppendMessage appends one boxed message to dst and returns the extended
+// slice.
+func AppendMessage(dst []Message, to int, payload any, bits int) []Message {
+	return append(dst, Message{To: to, Payload: payload, Bits: bits})
+}
+
+// AppendWordMessage appends one word-encoded message to dst and returns the
+// extended slice.
+func AppendWordMessage(dst []Message, to int, kind uint8, w0, w1 uint64, bits int) []Message {
+	return append(dst, Message{To: to, Kind: kind, W0: w0, W1: w1, Bits: bits})
+}
+
+// BroadcastInto appends one identical boxed message per listed neighbour to
+// dst and returns the extended slice.
+func BroadcastInto(dst []Message, neighbors []int, payload any, bits int) []Message {
+	for _, v := range neighbors {
+		dst = append(dst, Message{To: v, Payload: payload, Bits: bits})
+	}
+	return dst
+}
+
+// BroadcastWordsInto appends one identical word-encoded message per listed
+// neighbour to dst and returns the extended slice.
+func BroadcastWordsInto(dst []Message, neighbors []int, kind uint8, w0, w1 uint64, bits int) []Message {
+	for _, v := range neighbors {
+		dst = append(dst, Message{To: v, Kind: kind, W0: w0, W1: w1, Bits: bits})
+	}
+	return dst
+}
+
+// BroadcastAllInto appends one identical boxed message per neighbour of ctx
+// to dst and returns the extended slice.
+func BroadcastAllInto(dst []Message, ctx *Context, payload any, bits int) []Message {
+	for i, deg := 0, ctx.Degree(); i < deg; i++ {
+		dst = append(dst, Message{To: ctx.NeighborAt(i), Payload: payload, Bits: bits})
+	}
+	return dst
+}
+
+// BroadcastAllWordsInto appends one identical word-encoded message per
+// neighbour of ctx to dst and returns the extended slice.
+func BroadcastAllWordsInto(dst []Message, ctx *Context, kind uint8, w0, w1 uint64, bits int) []Message {
+	for i, deg := 0, ctx.Degree(); i < deg; i++ {
+		dst = append(dst, Message{To: ctx.NeighborAt(i), Kind: kind, W0: w0, W1: w1, Bits: bits})
+	}
+	return dst
 }

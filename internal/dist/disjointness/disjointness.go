@@ -89,11 +89,50 @@ type Result struct {
 // travel already distinguishes the two message kinds (data flows rightwards,
 // the answer leftwards), so a type tag would carry zero information — and
 // full-bandwidth chunks leave no room for one at B = 1, the bandwidth
-// Example 1.1 is stated at.
-type (
-	chunkMsg  struct{ Bits []int }
-	answerMsg struct{ Disjoint bool }
+// Example 1.1 is stated at. (Message.Kind is simulator-local routing
+// metadata, not wire content; the charged Bits are unchanged.)
+//
+// A chunk of at most 128 bits travels word-encoded, bit-packed into the two
+// payload words with Message.Bits doubling as the chunk length; wider
+// bandwidths fall back to the boxed chunkMsg. The answer is always a
+// word-encoded flag.
+type chunkMsg struct{ Bits []int } // boxed fallback for chunks wider than two words
+
+const (
+	kindChunk  uint8 = 1
+	kindAnswer uint8 = 2
+	// maxWordChunk is the widest chunk the two payload words can carry.
+	maxWordChunk = 128
 )
+
+// packChunk bit-packs up to 128 protocol bits into two payload words; bit i
+// of the chunk lands in bit i of W0 (i < 64) or bit i-64 of W1.
+func packChunk(chunk []int) (w0, w1 uint64) {
+	for i, b := range chunk {
+		if b == 1 {
+			if i < 64 {
+				w0 |= 1 << uint(i)
+			} else {
+				w1 |= 1 << uint(i-64)
+			}
+		}
+	}
+	return w0, w1
+}
+
+// appendUnpacked appends the length-bit chunk packed in (w0, w1) to dst.
+func appendUnpacked(dst []int, w0, w1 uint64, length int) []int {
+	for i := 0; i < length; i++ {
+		var bit uint64
+		if i < 64 {
+			bit = w0 >> uint(i) & 1
+		} else {
+			bit = w1 >> uint(i-64) & 1
+		}
+		dst = append(dst, int(bit))
+	}
+	return dst
+}
 
 // pathInput assigns the endpoint inputs.
 type pathInput struct{ X, Y []int }
@@ -107,6 +146,7 @@ type pathNode struct {
 	sent     int
 	received []int
 	answered bool
+	outbox   []congest.Message
 }
 
 func (p *pathNode) Init(ctx *congest.Context) {
@@ -116,22 +156,31 @@ func (p *pathNode) Init(ctx *congest.Context) {
 
 func (p *pathNode) Round(ctx *congest.Context, round int, inbox []congest.Message) ([]congest.Message, bool) {
 	id, last := ctx.ID(), ctx.N()-1
-	var out []congest.Message
+	out := p.outbox[:0]
 
-	for _, m := range inbox {
-		switch payload := m.Payload.(type) {
-		case chunkMsg:
+	for i := range inbox {
+		m := &inbox[i]
+		switch {
+		case m.Kind == kindChunk:
 			if id == last {
-				p.received = append(p.received, payload.Bits...)
+				p.received = appendUnpacked(p.received, m.W0, m.W1, m.Bits)
 			} else {
 				// Forward the stream rightwards, one hop per round.
-				out = append(out, congest.NewMessage(id+1, payload, len(payload.Bits)))
+				out = congest.AppendWordMessage(out, id+1, kindChunk, m.W0, m.W1, m.Bits)
 			}
-		case answerMsg:
+		case m.Kind == kindAnswer:
 			p.answered = true
-			ctx.SetOutput(payload.Disjoint)
+			ctx.SetOutput(m.Bool0())
 			if id > 0 {
-				out = append(out, congest.NewMessage(id-1, payload, congest.BitsForBool))
+				out = congest.AppendWordMessage(out, id-1, kindAnswer, m.W0, 0, congest.BitsForBool)
+			}
+		default:
+			if payload, ok := m.Payload.(chunkMsg); ok {
+				if id == last {
+					p.received = append(p.received, payload.Bits...)
+				} else {
+					out = congest.AppendMessage(out, id+1, payload, len(payload.Bits))
+				}
 			}
 		}
 	}
@@ -144,7 +193,12 @@ func (p *pathNode) Round(ctx *congest.Context, round int, inbox []congest.Messag
 		}
 		chunk := p.x[p.sent:hi]
 		p.sent = hi
-		out = append(out, congest.NewMessage(1, chunkMsg{Bits: chunk}, len(chunk)))
+		if len(chunk) <= maxWordChunk {
+			w0, w1 := packChunk(chunk)
+			out = congest.AppendWordMessage(out, 1, kindChunk, w0, w1, len(chunk))
+		} else {
+			out = congest.AppendMessage(out, 1, chunkMsg{Bits: chunk}, len(chunk))
+		}
 	}
 
 	// Right endpoint: once X has fully arrived, decide and answer.
@@ -158,9 +212,10 @@ func (p *pathNode) Round(ctx *congest.Context, round int, inbox []congest.Messag
 		}
 		p.answered = true
 		ctx.SetOutput(disjoint)
-		out = append(out, congest.NewMessage(id-1, answerMsg{Disjoint: disjoint}, congest.BitsForBool))
+		out = congest.AppendWordMessage(out, id-1, kindAnswer, congest.WordFromBool(disjoint), 0, congest.BitsForBool)
 	}
 
+	p.outbox = out
 	return out, p.answered
 }
 

@@ -23,6 +23,15 @@
 // Because all backends expose the identical RunStage contract, every
 // algorithm in internal/dist/{verify,mst,disjointness} executes unchanged
 // under any accounting; see DESIGN.md for the substitution table.
+//
+// Every constructor takes a congest.Topology. *graph.Graph satisfies it,
+// and so does *graph.CSR, the flat-table topology the streaming
+// graph.Builder produces — a CSR additionally satisfies
+// congest.IndexedTopology, so the network adopts its tables without
+// per-node copies or sorts, which is the constructor path million-node
+// scenarios use (see internal/exp's buildTopology). The backends are
+// agnostic to which one they were handed: identical seeds over identical
+// edge sets produce bit-identical runs either way.
 package engine
 
 import (

@@ -1,0 +1,30 @@
+package flood
+
+import (
+	"testing"
+
+	"qdc/internal/dist/engine"
+	"qdc/internal/graph"
+)
+
+// TestFloodRunAllocsBounded gates the migrated word-encoded flood path: a
+// full run allocates a small constant per node (node structs, one outbox per
+// reached node, the output map) and nothing per message — word payloads never
+// box. The bound is ~1.7x the measured ~7 allocs/node, so a regression that
+// reintroduces per-message boxing or per-round churn (both scale with edges
+// times rounds, not nodes) trips it immediately.
+func TestFloodRunAllocsBounded(t *testing.T) {
+	g := graph.Grid(24, 24)
+	r, err := engine.NewLocal(g, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := Run(r, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perNode := allocs / float64(g.N()); perNode > 12 {
+		t.Errorf("flood run allocates %.2f objects per node (%.0f total), want <= 12", perNode, allocs)
+	}
+}

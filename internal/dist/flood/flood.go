@@ -33,8 +33,10 @@ type Result struct {
 	Stats engine.Stats
 }
 
-// distMsg announces the sender's adopted distance.
-type distMsg struct{ Dist int }
+// kindDist tags the protocol's only message, word-encoded: W0 is the
+// sender's adopted distance. The wire size is unchanged from the old boxed
+// encoding, so the migration is invisible to the accounting.
+const kindDist uint8 = 1
 
 func distBits(n int) int { return engine.TagBits + congest.BitsForID(n) }
 
@@ -58,8 +60,8 @@ func (f *node) Init(ctx *congest.Context) {
 func (f *node) Round(ctx *congest.Context, round int, inbox []congest.Message) ([]congest.Message, bool) {
 	if f.dist == -1 {
 		for i := range inbox {
-			if m, ok := inbox[i].Payload.(distMsg); ok {
-				f.dist = m.Dist + 1
+			if inbox[i].Kind == kindDist {
+				f.dist = inbox[i].Int0() + 1
 				break
 			}
 		}
@@ -73,7 +75,7 @@ func (f *node) Round(ctx *congest.Context, round int, inbox []congest.Message) (
 	}
 	f.sent = true
 	if f.outbox == nil {
-		f.outbox = congest.BroadcastAll(ctx, distMsg{Dist: f.dist}, distBits(ctx.N()))
+		f.outbox = congest.BroadcastAllWords(ctx, kindDist, uint64(f.dist), 0, distBits(ctx.N()))
 	}
 	return f.outbox, false
 }

@@ -180,6 +180,23 @@ func treeAdjacency(g *graph.Graph, chosen *graph.EdgeSet) [][]int {
 
 const tagBits = engine.TagBits
 
+// Word-encoded message kinds of the two stages. Every kind charges the same
+// bits as the boxed struct it replaced, so the accounting of both stages is
+// unchanged by the migration.
+const (
+	// kindFrag propagates (label, distance-from-leader): W0 label, W1 dist.
+	kindFrag uint8 = 1
+	// kindNbr announces a node's fragment label and leader distance:
+	// W0 label, W1 dist.
+	kindNbr uint8 = 2
+	// kindCand convergecasts an outgoing-edge candidate: W0 packs (U,V),
+	// W1 is the comparison key as float64 bits.
+	kindCand uint8 = 3
+	// kindCandNone is an empty candidate (the Has=false case); both words
+	// are zero and charge no ID/key bits.
+	kindCandNone uint8 = 4
+)
+
 // fragState is a node's view of its fragment after the labelling stage.
 type fragState struct {
 	Label    int
@@ -194,13 +211,15 @@ type fragInput struct{ TreeNbrs []int }
 type fragMsg struct{ Label, Dist int }
 
 // fragNode floods the minimum node ID of its fragment together with the
-// tree distance to that leader. Chosen edges always form a forest, so the
-// distance converges to the unique tree distance within n rounds.
+// tree distance to that leader, as kindFrag word messages. Chosen edges
+// always form a forest, so the distance converges to the unique tree
+// distance within n rounds.
 type fragNode struct {
 	treeNbrs []int
 	label    int
 	dist     int
 	sent     fragMsg
+	outbox   []congest.Message
 }
 
 func (f *fragNode) Init(ctx *congest.Context) {
@@ -212,8 +231,9 @@ func (f *fragNode) Init(ctx *congest.Context) {
 }
 
 func (f *fragNode) Round(ctx *congest.Context, round int, inbox []congest.Message) ([]congest.Message, bool) {
-	for _, m := range inbox {
-		if p, ok := m.Payload.(fragMsg); ok {
+	for i := range inbox {
+		if inbox[i].Kind == kindFrag {
+			p := fragMsg{Label: inbox[i].Int0(), Dist: inbox[i].Int1()}
 			if p.Label < f.label || (p.Label == f.label && p.Dist+1 < f.dist) {
 				f.label = p.Label
 				f.dist = p.Dist + 1
@@ -228,7 +248,8 @@ func (f *fragNode) Round(ctx *congest.Context, round int, inbox []congest.Messag
 	if cur := (fragMsg{Label: f.label, Dist: f.dist}); cur != f.sent {
 		f.sent = cur
 		bits := tagBits + congest.BitsForID(n) + congest.BitsForInt(f.dist)
-		return congest.Broadcast(f.treeNbrs, cur, bits), false
+		f.outbox = congest.BroadcastWordsInto(f.outbox[:0], f.treeNbrs, kindFrag, uint64(cur.Label), uint64(cur.Dist), bits)
+		return f.outbox, false
 	}
 	return nil, false
 }
@@ -242,7 +263,9 @@ func runFragments(r engine.Runner, treeAdj [][]int) ([]fragState, error) {
 	return engine.RunUniform[fragInput, fragState](r, inputs, factory, r.Size()+8, "fragment state")
 }
 
-// Payloads of the minimum-outgoing-edge stage.
+// In-memory values of the minimum-outgoing-edge stage. On the wire they
+// travel word-encoded (kindNbr, kindCand/kindCandNone); the structs remain
+// the comparison and state domain of the node program.
 type (
 	// nbrMsg announces a node's fragment label and leader distance to all
 	// its neighbours (the distance only matters to tree neighbours).
@@ -254,6 +277,23 @@ type (
 		Key  float64
 	}
 )
+
+// encodeCand splits a candidate into its message kind and payload words; an
+// empty candidate is its own kind so it carries (and charges) no fields.
+func encodeCand(c candMsg) (kind uint8, w0, w1 uint64) {
+	if !c.Has {
+		return kindCandNone, 0, 0
+	}
+	return kindCand, congest.PackIDs(c.U, c.V), math.Float64bits(c.Key)
+}
+
+func decodeCand(kind uint8, w0, w1 uint64) candMsg {
+	if kind != kindCand {
+		return candMsg{}
+	}
+	u, v := congest.UnpackIDs(w0)
+	return candMsg{Has: true, U: u, V: v, Key: math.Float64frombits(w1)}
+}
 
 // better reports whether a beats b under the strict total edge order
 // (key, u, v) — the tie-break that guarantees simultaneous fragment merges
@@ -309,12 +349,14 @@ func (m *moeNode) Round(ctx *congest.Context, round int, inbox []congest.Message
 	n := ctx.N()
 	if round == 1 {
 		bits := tagBits + congest.BitsForID(n) + congest.BitsForInt(m.st.Dist)
-		return congest.BroadcastAll(ctx, nbrMsg{Label: m.st.Label, Dist: m.st.Dist}, bits), false
+		return congest.BroadcastAllWords(ctx, kindNbr, uint64(m.st.Label), uint64(m.st.Dist), bits), false
 	}
 
-	for _, msg := range inbox {
-		switch p := msg.Payload.(type) {
-		case nbrMsg:
+	for i := range inbox {
+		msg := &inbox[i]
+		switch msg.Kind {
+		case kindNbr:
+			p := nbrMsg{Label: msg.Int0(), Dist: msg.Int1()}
 			if p.Label != m.st.Label {
 				if w, ok := ctx.EdgeWeight(msg.From); ok {
 					u, v := ctx.ID(), msg.From
@@ -334,9 +376,9 @@ func (m *moeNode) Round(ctx *congest.Context, round int, inbox []congest.Message
 					m.children++
 				}
 			}
-		case candMsg:
+		case kindCand, kindCandNone:
 			m.received++
-			if better(p, m.best) {
+			if p := decodeCand(msg.Kind, msg.W0, msg.W1); better(p, m.best) {
 				m.best = p
 			}
 		}
@@ -352,7 +394,8 @@ func (m *moeNode) Round(ctx *congest.Context, round int, inbox []congest.Message
 		if m.st.Label == ctx.ID() {
 			ctx.SetOutput(moeOutput{Has: m.best.Has, U: m.best.U, V: m.best.V})
 		} else {
-			out = append(out, congest.NewMessage(m.parent, m.best, m.candBits(n, m.best)))
+			kind, w0, w1 := encodeCand(m.best)
+			out = append(out, congest.NewWordMessage(m.parent, kind, w0, w1, m.candBits(n, m.best)))
 		}
 	}
 	return out, m.finished

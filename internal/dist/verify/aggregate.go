@@ -32,14 +32,29 @@ func combine(a, b agg) agg {
 	}
 }
 
-// Message payloads of the aggregation stage. Every payload carries a small
-// type tag (2 bits) plus its fields.
-type (
-	tokenMsg struct{ Dist int }     // BFS wave; Dist is the receiver's depth
-	childMsg struct{ IsChild bool } // reply to a token
-	upMsg    struct{ Agg agg }      // convergecast of the combined aggregate
-	downMsg  struct{ Answer bool }  // broadcast of the root's verdict
+// Word-encoded message kinds of the aggregation stage. Every message
+// charges a small type tag (2 bits) plus its fields, exactly as the boxed
+// structs they replaced did; the representation change is invisible to the
+// accounting.
+const (
+	kindToken uint8 = 4 // BFS wave; W0 is the receiver's depth
+	kindChild uint8 = 5 // reply to a token; W0 is the is-child flag
+	kindUp    uint8 = 6 // convergecast; W0/W1 encode the combined agg
+	kindDown  uint8 = 7 // broadcast; W0 is the root's verdict
 )
+
+// encodeAgg packs an aggregate into two payload words: Supported and
+// Leaders share W0 (32 bits each, both bounded by n), and W1 carries the
+// degree sum shifted over the ANDed flag. decodeAgg inverts it.
+func encodeAgg(a agg) (w0, w1 uint64) {
+	return congest.PackIDs(a.Supported, a.Leaders),
+		uint64(a.Degree)<<1 | congest.WordFromBool(a.OK)
+}
+
+func decodeAgg(w0, w1 uint64) agg {
+	s, l := congest.UnpackIDs(w0)
+	return agg{OK: w1&1 == 1, Supported: s, Leaders: l, Degree: int(w1 >> 1)}
+}
 
 const tagBits = engine.TagBits
 
@@ -78,6 +93,7 @@ type aggNode struct {
 	answer     bool
 	haveAnswer bool
 	answered   bool
+	outbox     []congest.Message
 }
 
 func newAggNode(ctx *congest.Context, decide func(agg) bool) *aggNode {
@@ -92,34 +108,35 @@ func (a *aggNode) Init(ctx *congest.Context) {
 }
 
 func (a *aggNode) Round(ctx *congest.Context, round int, inbox []congest.Message) ([]congest.Message, bool) {
-	var out []congest.Message
+	out := a.outbox[:0]
 
 	// The root starts the BFS wave in round 1.
 	if round == 1 && ctx.ID() == 0 {
 		a.pending = make(map[int]struct{})
 		ctx.ForEachNeighbor(func(v int) {
 			a.pending[v] = struct{}{}
-			out = append(out, congest.NewMessage(v, tokenMsg{Dist: 1}, tokenBits(1)))
+			out = congest.AppendWordMessage(out, v, kindToken, 1, 0, tokenBits(1))
 		})
 	}
 
 	var tokenSenders []int
 	tokenDist := -1
-	for _, m := range inbox {
-		switch p := m.Payload.(type) {
-		case tokenMsg:
+	for i := range inbox {
+		m := &inbox[i]
+		switch m.Kind {
+		case kindToken:
 			tokenSenders = append(tokenSenders, m.From)
-			tokenDist = p.Dist
-		case childMsg:
+			tokenDist = m.Int0()
+		case kindChild:
 			delete(a.pending, m.From)
-			if p.IsChild {
+			if m.Bool0() {
 				a.children = append(a.children, m.From)
 			}
-		case upMsg:
-			a.acc = combine(a.acc, p.Agg)
+		case kindUp:
+			a.acc = combine(a.acc, decodeAgg(m.W0, m.W1))
 			a.childUps++
-		case downMsg:
-			a.answer = p.Answer
+		case kindDown:
+			a.answer = m.Bool0()
 			a.haveAnswer = true
 		}
 	}
@@ -139,7 +156,7 @@ func (a *aggNode) Round(ctx *congest.Context, round int, inbox []congest.Message
 			sender := make(map[int]struct{}, len(tokenSenders))
 			for _, s := range tokenSenders {
 				sender[s] = struct{}{}
-				out = append(out, congest.NewMessage(s, childMsg{IsChild: s == a.parent}, childBits))
+				out = congest.AppendWordMessage(out, s, kindChild, congest.WordFromBool(s == a.parent), 0, childBits)
 			}
 			a.pending = make(map[int]struct{})
 			ctx.ForEachNeighbor(func(v int) {
@@ -147,12 +164,12 @@ func (a *aggNode) Round(ctx *congest.Context, round int, inbox []congest.Message
 					return
 				}
 				a.pending[v] = struct{}{}
-				out = append(out, congest.NewMessage(v, tokenMsg{Dist: a.dist + 1}, tokenBits(a.dist+1)))
+				out = congest.AppendWordMessage(out, v, kindToken, uint64(a.dist+1), 0, tokenBits(a.dist+1))
 			})
 		} else {
 			// Late tokens from same-depth neighbours: decline.
 			for _, s := range tokenSenders {
-				out = append(out, congest.NewMessage(s, childMsg{IsChild: false}, childBits))
+				out = congest.AppendWordMessage(out, s, kindChild, 0, 0, childBits)
 			}
 		}
 	}
@@ -165,7 +182,8 @@ func (a *aggNode) Round(ctx *congest.Context, round int, inbox []congest.Message
 			a.answer = a.decide(a.acc)
 			a.haveAnswer = true
 		} else {
-			out = append(out, congest.NewMessage(a.parent, upMsg{Agg: a.acc}, upBits(a.acc)))
+			w0, w1 := encodeAgg(a.acc)
+			out = congest.AppendWordMessage(out, a.parent, kindUp, w0, w1, upBits(a.acc))
 		}
 	}
 
@@ -173,11 +191,12 @@ func (a *aggNode) Round(ctx *congest.Context, round int, inbox []congest.Message
 	if a.haveAnswer && !a.answered {
 		a.answered = true
 		for _, c := range a.children {
-			out = append(out, congest.NewMessage(c, downMsg{Answer: a.answer}, downBits))
+			out = congest.AppendWordMessage(out, c, kindDown, congest.WordFromBool(a.answer), 0, downBits)
 		}
 		ctx.SetOutput(a.answer)
 	}
 
+	a.outbox = out
 	return out, a.answered
 }
 

@@ -24,6 +24,15 @@ func mAdjacency(g *graph.Graph, m *graph.EdgeSet) [][]int {
 // labelInput is the per-node input of the component-labelling stage.
 type labelInput struct{ MNbrs []int }
 
+// Word-encoded payload kinds of the labelling and colouring stages. The
+// bare-int and struct payloads these replace travelled boxed; the word forms
+// charge the exact same bits, so the stages' accounting is unchanged.
+const (
+	kindLabel uint8 = 1 // W0: the sender's component label
+	kindDist  uint8 = 2 // W0: the sender's M-BFS distance
+	kindColor uint8 = 3 // W0: the sender's layer-parity colour
+)
+
 // labelNode floods the minimum node ID along M-edges for n rounds, after
 // which every node's label is the smallest ID in its M-component (the
 // M-diameter is at most n−1, so n propagation rounds always suffice). The
@@ -33,6 +42,7 @@ type labelNode struct {
 	mNbrs    []int
 	label    int
 	lastSent int
+	outbox   []congest.Message
 }
 
 func (l *labelNode) Init(ctx *congest.Context) {
@@ -43,9 +53,11 @@ func (l *labelNode) Init(ctx *congest.Context) {
 }
 
 func (l *labelNode) Round(ctx *congest.Context, round int, inbox []congest.Message) ([]congest.Message, bool) {
-	for _, m := range inbox {
-		if v, ok := m.Payload.(int); ok && v < l.label {
-			l.label = v
+	for i := range inbox {
+		if inbox[i].Kind == kindLabel {
+			if v := inbox[i].Int0(); v < l.label {
+				l.label = v
+			}
 		}
 	}
 	n := ctx.N()
@@ -56,7 +68,8 @@ func (l *labelNode) Round(ctx *congest.Context, round int, inbox []congest.Messa
 	if l.label != l.lastSent {
 		l.lastSent = l.label
 		bits := tagBits + congest.BitsForID(n)
-		return congest.Broadcast(l.mNbrs, l.label, bits), false
+		l.outbox = congest.BroadcastWordsInto(l.outbox[:0], l.mNbrs, kindLabel, uint64(l.label), 0, bits)
+		return l.outbox, false
 	}
 	return nil, false
 }
@@ -78,22 +91,18 @@ type colorInput struct {
 	IsLeader bool
 }
 
-// Payloads of the colouring stage.
-type (
-	distMsg  struct{ D int }
-	colorMsg struct{ C int }
-)
-
 // colorNode 2-colours each M-component by BFS-layer parity: component
 // leaders are at distance 0, M-BFS distances propagate for n rounds, each
 // node's colour is its distance parity, and one final exchange over M-edges
 // detects monochromatic edges — which exist iff the component contains an
-// odd cycle (iff M is not bipartite).
+// odd cycle (iff M is not bipartite). Both message kinds travel
+// word-encoded (kindDist, kindColor).
 type colorNode struct {
 	mNbrs    []int
 	dist     int
 	lastSent int
 	conflict bool
+	outbox   []congest.Message
 }
 
 func (c *colorNode) Init(ctx *congest.Context) {
@@ -115,14 +124,14 @@ func (c *colorNode) color() int {
 
 func (c *colorNode) Round(ctx *congest.Context, round int, inbox []congest.Message) ([]congest.Message, bool) {
 	n := ctx.N()
-	for _, m := range inbox {
-		switch p := m.Payload.(type) {
-		case distMsg:
-			if cand := p.D + 1; c.dist == -1 || cand < c.dist {
+	for i := range inbox {
+		switch inbox[i].Kind {
+		case kindDist:
+			if cand := inbox[i].Int0() + 1; c.dist == -1 || cand < c.dist {
 				c.dist = cand
 			}
-		case colorMsg:
-			if p.C == c.color() {
+		case kindColor:
+			if inbox[i].Int0() == c.color() {
 				c.conflict = true
 			}
 		}
@@ -132,12 +141,14 @@ func (c *colorNode) Round(ctx *congest.Context, round int, inbox []congest.Messa
 		if c.dist != -1 && c.dist != c.lastSent {
 			c.lastSent = c.dist
 			bits := tagBits + congest.BitsForInt(c.dist)
-			return congest.Broadcast(c.mNbrs, distMsg{D: c.dist}, bits), false
+			c.outbox = congest.BroadcastWordsInto(c.outbox[:0], c.mNbrs, kindDist, uint64(c.dist), 0, bits)
+			return c.outbox, false
 		}
 		return nil, false
 	case round == n+1:
 		bits := tagBits + congest.BitsForBool
-		return congest.Broadcast(c.mNbrs, colorMsg{C: c.color()}, bits), false
+		c.outbox = congest.BroadcastWordsInto(c.outbox[:0], c.mNbrs, kindColor, uint64(c.color()), 0, bits)
+		return c.outbox, false
 	default:
 		ctx.SetOutput(c.conflict)
 		return nil, true

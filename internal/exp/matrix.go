@@ -181,11 +181,16 @@ var matrices = map[string]Matrix{
 	// rounds/bits land in the BENCH_*.json snapshots and the trend view.
 	// `qdcbench roundbench -append` folds these records into an existing
 	// snapshot (see cmd/qdcbench and FoldRecords).
+	// The grid102400 cell is the n=100k word-payload workload: it pins the
+	// streaming-CSR + word-message data plane's throughput and peak heap
+	// (qdcbench roundbench measures both) where the compact payload
+	// migration is worth whole gigabytes.
 	"roundbench": {
 		Name: "roundbench",
 		Topologies: []TopologySpec{
 			{Family: FamilyPath, Size: 1025},
 			{Family: FamilyGrid, Size: 4096},
+			{Family: FamilyGrid, Size: 102_400},
 		},
 		Bandwidths: []int{64},
 		Backends:   []string{BackendLocal, BackendParallel},
@@ -193,14 +198,18 @@ var matrices = map[string]Matrix{
 		BaseSeed:   1,
 	},
 	// scale-xl is the 100k+-node sweep the allocation-free round loop
-	// unlocked: flooding on path and grid at n >= 100k, local vs parallel.
-	// It is deliberately absent from quick/default (and from CI) — run it
-	// explicitly with -matrix scale-xl when chasing round-loop throughput.
+	// unlocked: flooding on path and grid at n >= 100k, local vs parallel,
+	// topped by the million-node grid the streaming CSR loader and the
+	// word-encoded flood payloads exist for (its ~2000-round eccentricity
+	// needs an explicit -timeout of several minutes). It is deliberately
+	// absent from quick/default (and from CI) — run it explicitly with
+	// -matrix scale-xl when chasing round-loop throughput.
 	"scale-xl": {
 		Name: "scale-xl",
 		Topologies: []TopologySpec{
 			{Family: FamilyPath, Size: 100_001},
 			{Family: FamilyGrid, Size: 102_400},
+			{Family: FamilyGrid, Size: 1_000_000},
 		},
 		Bandwidths: []int{64},
 		Backends:   []string{BackendLocal, BackendParallel},

@@ -1,0 +1,69 @@
+package exp
+
+import (
+	"testing"
+
+	"qdc/internal/congest"
+)
+
+// smokeWordFloodNode floods word-encoded announcements for a fixed number of
+// rounds and halts — the minimal all-touch workload for the streaming smoke.
+type smokeWordFloodNode struct {
+	rounds int
+	outbox []congest.Message
+}
+
+func (f *smokeWordFloodNode) Init(ctx *congest.Context) {
+	f.outbox = congest.BroadcastAllWords(ctx, 1, 1, 0, 8)
+}
+
+func (f *smokeWordFloodNode) Round(ctx *congest.Context, round int, inbox []congest.Message) ([]congest.Message, bool) {
+	if round > f.rounds {
+		return nil, true
+	}
+	return f.outbox, false
+}
+
+// TestMillionNodeStreamingSmoke is the CI gate on the million-node data path:
+// the streaming loader must build the n=1,000,000 grid CSR without ever
+// materialising adjacency maps, and the simulator must step a few word-flood
+// rounds over it through the CSR's fast indexed interface only. The
+// SlowNeighborCalls counter is the tripwire — any regression that routes the
+// round loop (or the loader) through the allocating Neighbors fallback shows
+// up as a non-zero count.
+func TestMillionNodeStreamingSmoke(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation multiplies the million-node footprint")
+	}
+	if testing.Short() {
+		t.Skip("million-node smoke skipped in short mode")
+	}
+	spec := TopologySpec{Family: FamilyGrid, Size: 1_000_000}
+	csr, err := spec.BuildCSR(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csr.N() != 1_000_000 {
+		t.Fatalf("CSR has %d vertices, want 1000000", csr.N())
+	}
+	nw, err := congest.NewNetwork(csr, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 3
+	res, err := nw.Run(func(*congest.Context) congest.Node {
+		return &smokeWordFloodNode{rounds: rounds}
+	}, congest.Options{MaxRounds: rounds + 2, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds < rounds {
+		t.Fatalf("ran %d rounds, want at least %d", res.Rounds, rounds)
+	}
+	if res.TotalMessages == 0 {
+		t.Fatal("flood rounds delivered no messages")
+	}
+	if calls := csr.SlowNeighborCalls(); calls != 0 {
+		t.Errorf("the run touched the slow Neighbors path %d times; the streaming data plane must stay on the indexed interface", calls)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package exp
+
+// raceEnabled reports whether the race detector instruments this build; the
+// million-node smoke skips under it (instrumented shadow memory multiplies
+// the footprint the test exists to bound).
+const raceEnabled = false

@@ -55,9 +55,9 @@ func TestScaleXLMatrixExpansion(t *testing.T) {
 		t.Fatal("scale-xl matrix is not registered")
 	}
 	scenarios := m.Expand()
-	// 2 topologies x 1 algorithm x 2 backends x 1 bandwidth, nothing skipped.
-	if len(scenarios) != 4 {
-		t.Fatalf("scale-xl expands to %d scenarios, want 4", len(scenarios))
+	// 3 topologies x 1 algorithm x 2 backends x 1 bandwidth, nothing skipped.
+	if len(scenarios) != 6 {
+		t.Fatalf("scale-xl expands to %d scenarios, want 6", len(scenarios))
 	}
 	for _, s := range scenarios {
 		if s.Algorithm != AlgFlood {
@@ -75,8 +75,8 @@ func TestRoundbenchMatrixRuns(t *testing.T) {
 		t.Fatal("roundbench matrix is not registered")
 	}
 	scenarios := m.Expand()
-	if len(scenarios) != 4 {
-		t.Fatalf("roundbench expands to %d scenarios, want 4", len(scenarios))
+	if len(scenarios) != 6 {
+		t.Fatalf("roundbench expands to %d scenarios, want 6", len(scenarios))
 	}
 	rec := RunScenario(scenarios[0])
 	if rec.Failed() {

@@ -31,6 +31,12 @@ type Record struct {
 	Detail string `json:"detail,omitempty"`
 	// Error is the failure, panic or timeout message of an unsuccessful run.
 	Error string `json:"error,omitempty"`
+	// PeakHeapBytes is the process heap high-water mark (runtime HeapAlloc)
+	// observed while the scenario ran, populated only by heap-measuring
+	// sweeps (ExecOptions.MeasureHeap; qdcbench roundbench). Host-dependent
+	// like WallMillis, but kept through FoldRecords so the roundbench rows
+	// track the simulator's memory footprint next to its rounds and bits.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes,omitempty"`
 	// Metrics is the optional observability block, populated when the run
 	// was collected with metrics enabled (ExecOptions.Metrics, qdcbench
 	// -metrics). Its content is deterministic, but canonical snapshots strip
@@ -76,7 +82,7 @@ func runScenario(s Scenario, stepWorkers int, cancel func() bool, metrics bool) 
 		return rec
 	}
 	rng := rand.New(rand.NewSource(s.Seed))
-	topo, err := s.Topology.Build(rng)
+	topo, err := buildTopology(s, rng)
 	if err != nil {
 		rec.Error = err.Error()
 		return rec
@@ -114,7 +120,7 @@ func runScenario(s Scenario, stepWorkers int, cancel func() bool, metrics bool) 
 	case AlgDisjointness:
 		rec.OK, rec.Detail, err = runDisjointness(runner, rng)
 	case AlgFlood:
-		rec.OK, rec.Detail, err = runFlood(runner, topo.Graph)
+		rec.OK, rec.Detail, err = runFlood(runner, topo)
 	default:
 		err = fmt.Errorf("exp: unknown algorithm %q", s.Algorithm)
 	}
@@ -136,13 +142,30 @@ func runScenario(s Scenario, stepWorkers int, cancel func() bool, metrics bool) 
 	return rec
 }
 
+// buildTopology realises the scenario's network. Flood scenarios on
+// streamable families take the streaming CSR route — built from flat tables
+// with no adjacency maps, which is what keeps million-node runs inside
+// memory — while every other combination keeps the map-based Build. The two
+// routes consume the scenario rng identically and yield identical neighbour
+// orders, so which one ran is invisible in the record.
+func buildTopology(s Scenario, rng *rand.Rand) (*builtTopology, error) {
+	if s.Algorithm == AlgFlood && s.Topology.Streamable() {
+		csr, err := s.Topology.BuildCSR(rng)
+		if err != nil {
+			return nil, err
+		}
+		return &builtTopology{CSR: csr}, nil
+	}
+	return s.Topology.Build(rng)
+}
+
 // buildRunner constructs the scenario's backend over the built topology.
 func buildRunner(s Scenario, topo *builtTopology, stepWorkers int) (engine.Runner, error) {
 	switch s.Backend {
 	case BackendLocal:
-		return engine.NewLocal(topo.Graph, s.Bandwidth, s.Seed)
+		return engine.NewLocal(topo.topology(), s.Bandwidth, s.Seed)
 	case BackendParallel:
-		r, err := engine.NewParallel(topo.Graph, s.Bandwidth, s.Seed)
+		r, err := engine.NewParallel(topo.topology(), s.Bandwidth, s.Seed)
 		if err == nil && stepWorkers > 0 {
 			r.SetWorkers(stepWorkers)
 		}
@@ -152,7 +175,7 @@ func buildRunner(s Scenario, topo *builtTopology, stepWorkers int) (engine.Runne
 		// topo.LB is set; NewRunner still rejects a nil network itself.
 		return simulation.NewRunner(topo.LB, s.Bandwidth, s.Seed)
 	case BackendQuantum:
-		return engine.NewQuantum(topo.Graph, s.Bandwidth, s.Seed)
+		return engine.NewQuantum(topo.topology(), s.Bandwidth, s.Seed)
 	default:
 		return nil, fmt.Errorf("exp: unknown backend %q", s.Backend)
 	}
@@ -202,14 +225,21 @@ func runMST(r engine.Runner, g *graph.Graph, alpha float64) (bool, string, error
 }
 
 // runFlood floods from vertex 0 and checks every node's adopted hop
-// distance against a sequential BFS. The comparison is a plain loop (not
-// reflection) because the scale matrices run this on 100k+-node graphs.
-func runFlood(r engine.Runner, g *graph.Graph) (bool, string, error) {
+// distance against a sequential BFS — over the CSR when the streaming
+// loader built the topology, over the graph otherwise. The comparison is a
+// plain loop (not reflection) because the scale matrices run this on
+// 100k+-node graphs.
+func runFlood(r engine.Runner, topo *builtTopology) (bool, string, error) {
 	res, err := flood.Run(r, 0)
 	if err != nil {
 		return false, "", err
 	}
-	want := g.BFS(0).Dist
+	var want []int
+	if topo.CSR != nil {
+		want = topo.CSR.BFSDist(0)
+	} else {
+		want = topo.Graph.BFS(0).Dist
+	}
 	mismatches, ecc := 0, 0
 	for v, d := range res.Dist {
 		if d != want[v] {

@@ -34,6 +34,7 @@ import (
 	"math/rand"
 	"strings"
 
+	"qdc/internal/congest"
 	"qdc/internal/graph"
 	"qdc/internal/lbnetwork"
 )
@@ -162,12 +163,23 @@ func DeriveSeed(base int64, key string) int64 {
 	return base ^ int64(h.Sum64())
 }
 
-// builtTopology is the realised network of a scenario: always a graph, plus
-// the lower-bound network when the family is FamilyLBNet (the simulation
-// backend needs its ownership structure, not just its edges).
+// builtTopology is the realised network of a scenario: a map-based graph
+// (plus the lower-bound network when the family is FamilyLBNet — the
+// simulation backend needs its ownership structure, not just its edges), or
+// a CSR built by the streaming loader when the scenario qualifies for it
+// (see BuildCSR). Exactly one of Graph and CSR is set.
 type builtTopology struct {
 	Graph *graph.Graph
 	LB    *lbnetwork.Network
+	CSR   *graph.CSR
+}
+
+// topology returns the congest.Topology view the backends run over.
+func (b *builtTopology) topology() congest.Topology {
+	if b.CSR != nil {
+		return b.CSR
+	}
+	return b.Graph
 }
 
 // Build realises the topology. Random families draw from rng, so callers
@@ -226,4 +238,71 @@ func (t TopologySpec) Build(rng *rand.Rand) (*builtTopology, error) {
 		}
 	}
 	return &builtTopology{Graph: g}, nil
+}
+
+// Streamable reports whether BuildCSR can realise the topology: a unit-weight
+// family whose edges can be emitted as a flat stream. Reweighted topologies
+// (MaxWeight > 1) redraw weights over the built graph's edge list, and the
+// lower-bound network carries ownership structure beyond its edges, so both
+// take the map-based Build route.
+func (t TopologySpec) Streamable() bool {
+	if t.MaxWeight > 1 {
+		return false
+	}
+	switch t.Family {
+	case FamilyPath, FamilyCycle, FamilyStar, FamilyComplete, FamilyGrid, FamilyRandom, FamilyTree:
+		return true
+	}
+	return false
+}
+
+// BuildCSR realises a Streamable topology directly as a congest-ready CSR:
+// the family's edge stream feeds graph.Builder's two counting passes over
+// flat tables, so no per-vertex adjacency maps are ever materialised — the
+// constructor the million-node scenarios run through. Random families
+// consume rng exactly as Build does (the generators and the builder share
+// one edge-emitter per family), so a scenario produces bit-identical runs
+// whichever route built its topology.
+func (t TopologySpec) BuildCSR(rng *rand.Rand) (*graph.CSR, error) {
+	if !t.Streamable() {
+		return nil, fmt.Errorf("exp: topology %s is not streamable", t)
+	}
+	if t.Size < 2 {
+		return nil, fmt.Errorf("exp: %s needs size >= 2, got %d", t.Family, t.Size)
+	}
+	n := t.Size
+	b := graph.NewBuilder(n)
+	switch t.Family {
+	case FamilyPath:
+		graph.EmitPath(n, b.MustAddEdge)
+	case FamilyCycle:
+		if n < 3 {
+			return nil, fmt.Errorf("exp: a cycle needs at least 3 vertices, got %d", n)
+		}
+		graph.EmitCycle(n, b.MustAddEdge)
+	case FamilyStar:
+		graph.EmitStar(n, b.MustAddEdge)
+	case FamilyComplete:
+		graph.EmitComplete(n, b.MustAddEdge)
+	case FamilyGrid:
+		side := int(math.Sqrt(float64(n)))
+		if side < 2 {
+			return nil, fmt.Errorf("exp: grid needs size >= 4, got %d", n)
+		}
+		b = graph.NewBuilder(side * side)
+		graph.EmitGrid(side, side, b.MustAddEdge)
+	case FamilyRandom:
+		p := t.Param
+		if p <= 0 {
+			p = 0.1
+		}
+		graph.EmitRandomConnected(n, p, rng, b.MustAddEdge)
+	case FamilyTree:
+		graph.EmitSpanningTree(n, rng, b.MustAddEdge)
+	}
+	csr, err := b.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("exp: %v", err)
+	}
+	return csr, nil
 }

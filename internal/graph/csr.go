@@ -1,0 +1,263 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// CSR is the compressed-sparse-row form of a simple undirected weighted
+// graph: three flat tables instead of per-vertex adjacency lists. Vertex v's
+// incident edges are targets[offsets[v]:offsets[v+1]] (neighbour IDs in
+// ascending order) with parallel weights in the same index range. It is the
+// topology representation of the million-node path: a Builder constructs it
+// directly from an edge stream in two counting passes, so no intermediate
+// adjacency structure is ever materialised, and the congest simulator's
+// IndexedTopology fast path reads the tables in place.
+//
+// CSR is immutable after construction and safe for concurrent readers.
+type CSR struct {
+	n       int
+	offsets []int64
+	targets []int32
+	weights []float64
+	// slowNeighbors counts calls to the allocating Neighbors method — the
+	// generic congest.Topology path a CSR exists to avoid. Tests assert it
+	// stays zero on streaming runs (see SlowNeighborCalls).
+	slowNeighbors atomic.Int64
+}
+
+// N returns the number of vertices.
+func (c *CSR) N() int { return c.n }
+
+// M returns the number of undirected edges.
+func (c *CSR) M() int { return len(c.targets) / 2 }
+
+// Degree returns the degree of vertex v.
+func (c *CSR) Degree(v int) int {
+	if v < 0 || v >= c.n {
+		return 0
+	}
+	return int(c.offsets[v+1] - c.offsets[v])
+}
+
+// Neighbor returns the i-th neighbour of v in ascending-ID order and the
+// weight of the connecting edge, 0 <= i < Degree(v). Together with Degree it
+// implements the congest simulator's zero-alloc IndexedTopology fast path.
+func (c *CSR) Neighbor(v, i int) (int, float64) {
+	j := c.offsets[v] + int64(i)
+	return int(c.targets[j]), c.weights[j]
+}
+
+// Neighbors returns the neighbours of v in ascending order as a fresh slice.
+// This is the generic (allocating) congest.Topology method; CSR consumers
+// are expected to stay on Degree/Neighbor, so every call is counted and
+// tests assert the count stays zero on streaming runs.
+func (c *CSR) Neighbors(v int) []int {
+	c.slowNeighbors.Add(1)
+	if v < 0 || v >= c.n {
+		return nil
+	}
+	lo, hi := c.offsets[v], c.offsets[v+1]
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = int(c.targets[lo+int64(i)])
+	}
+	return out
+}
+
+// SlowNeighborCalls returns how many times the allocating Neighbors method
+// has been called on this CSR — the builder-stats counter the n=1M smoke
+// test asserts is zero, proving the run never left the flat tables.
+func (c *CSR) SlowNeighborCalls() int64 { return c.slowNeighbors.Load() }
+
+// Weight returns the weight of edge {u,v} and whether it exists.
+func (c *CSR) Weight(u, v int) (float64, bool) {
+	if u < 0 || u >= c.n || v < 0 || v >= c.n {
+		return 0, false
+	}
+	lo, hi := c.offsets[u], c.offsets[u+1]
+	if hi-lo > 16 {
+		// Binary search the sorted bucket.
+		i := lo + int64(sort.Search(int(hi-lo), func(i int) bool {
+			return c.targets[lo+int64(i)] >= int32(v)
+		}))
+		if i < hi && c.targets[i] == int32(v) {
+			return c.weights[i], true
+		}
+		return 0, false
+	}
+	for i := lo; i < hi; i++ {
+		if c.targets[i] == int32(v) {
+			return c.weights[i], true
+		}
+	}
+	return 0, false
+}
+
+// BFSDist returns the hop distance from src to every vertex (-1 when
+// unreachable) straight off the flat tables: the reference computation the
+// flood scenarios compare against without materialising a Graph.
+func (c *CSR) BFSDist(src int) []int {
+	dist := make([]int, c.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if src < 0 || src >= c.n {
+		return dist
+	}
+	queue := make([]int32, 0, c.n)
+	dist[src] = 0
+	queue = append(queue, int32(src))
+	for head := 0; head < len(queue); head++ {
+		v := int64(queue[head])
+		d := dist[v] + 1
+		for i := c.offsets[v]; i < c.offsets[v+1]; i++ {
+			u := c.targets[i]
+			if dist[u] < 0 {
+				dist[u] = d
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// Builder accumulates an edge stream and constructs the CSR tables in two
+// counting passes over flat arrays. Generators emit (u,v,w) edges into it —
+// directly, or via the Emit* streaming generators — and Finish produces the
+// canonical CSR whatever the emission order, so the result is byte-identical
+// to converting the equivalent map-built Graph (see FromGraph and the
+// equivalence tests).
+//
+// Validation mirrors Graph.AddEdge: endpoints in range, no self loops,
+// positive finite weights. Parallel edges are the one check that moves to
+// Finish — detecting them at AddEdge time is exactly what would require the
+// adjacency structure the Builder exists to avoid.
+type Builder struct {
+	n  int
+	us []int32
+	vs []int32
+	ws []float64
+}
+
+// NewBuilder returns an empty builder for a graph on n vertices.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		n = 0
+	}
+	return &Builder{n: n}
+}
+
+// N returns the number of vertices.
+func (b *Builder) N() int { return b.n }
+
+// M returns the number of edges emitted so far.
+func (b *Builder) M() int { return len(b.us) }
+
+// AddEdge appends the undirected edge {u,v} with the given weight to the
+// stream. Duplicate edges are detected by Finish, not here.
+func (b *Builder) AddEdge(u, v int, weight float64) error {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		return fmt.Errorf("%w: (%d,%d) with n=%d", ErrVertexOutOfRange, u, v, b.n)
+	}
+	if u == v {
+		return fmt.Errorf("%w: vertex %d", ErrSelfLoop, u)
+	}
+	if weight <= 0 || math.IsNaN(weight) || math.IsInf(weight, 0) {
+		return fmt.Errorf("%w: got %g", ErrNonPositiveWeight, weight)
+	}
+	b.us = append(b.us, int32(u))
+	b.vs = append(b.vs, int32(v))
+	b.ws = append(b.ws, weight)
+	return nil
+}
+
+// MustAddEdge appends an edge and panics on error, for deterministic
+// constructions where failure is a programming bug. It satisfies
+// EdgeEmitter, so streaming generators plug straight in.
+func (b *Builder) MustAddEdge(u, v int, weight float64) {
+	if err := b.AddEdge(u, v, weight); err != nil {
+		panic(err)
+	}
+}
+
+// Finish constructs the CSR from the accumulated stream: one counting pass
+// to size each vertex's bucket, a prefix sum, and one scatter pass, then a
+// per-bucket sort into ascending neighbour order (already-sorted buckets —
+// the common case for the deterministic generator families — are detected
+// and skipped). A duplicate edge surfaces here as ErrParallelEdge. The
+// builder may be reused or discarded afterwards; the CSR shares no state
+// with it.
+func (b *Builder) Finish() (*CSR, error) {
+	n := b.n
+	c := &CSR{n: n, offsets: make([]int64, n+1)}
+	for i := range b.us {
+		c.offsets[b.us[i]+1]++
+		c.offsets[b.vs[i]+1]++
+	}
+	for v := 0; v < n; v++ {
+		c.offsets[v+1] += c.offsets[v]
+	}
+	half := len(b.us)
+	c.targets = make([]int32, 2*half)
+	c.weights = make([]float64, 2*half)
+	cursor := make([]int64, n)
+	copy(cursor, c.offsets[:n])
+	for i := range b.us {
+		u, v, w := b.us[i], b.vs[i], b.ws[i]
+		c.targets[cursor[u]] = v
+		c.weights[cursor[u]] = w
+		cursor[u]++
+		c.targets[cursor[v]] = u
+		c.weights[cursor[v]] = w
+		cursor[v]++
+	}
+	for v := 0; v < n; v++ {
+		lo, hi := c.offsets[v], c.offsets[v+1]
+		bucket := csrBucket{t: c.targets[lo:hi], w: c.weights[lo:hi]}
+		if !sort.IsSorted(bucket) {
+			sort.Sort(bucket)
+		}
+		for i := 1; i < len(bucket.t); i++ {
+			if bucket.t[i] == bucket.t[i-1] {
+				a, z := v, int(bucket.t[i])
+				if a > z {
+					a, z = z, a
+				}
+				return nil, fmt.Errorf("%w: (%d,%d)", ErrParallelEdge, a, z)
+			}
+		}
+	}
+	return c, nil
+}
+
+// csrBucket sorts one vertex's targets with its weights carried along.
+type csrBucket struct {
+	t []int32
+	w []float64
+}
+
+func (s csrBucket) Len() int           { return len(s.t) }
+func (s csrBucket) Less(i, j int) bool { return s.t[i] < s.t[j] }
+func (s csrBucket) Swap(i, j int) {
+	s.t[i], s.t[j] = s.t[j], s.t[i]
+	s.w[i], s.w[j] = s.w[j], s.w[i]
+}
+
+// FromGraph converts a map-built Graph to its CSR form through the same
+// Finish pass the streaming path uses, so both construction routes yield
+// byte-identical tables for the same edge set.
+func FromGraph(g *Graph) *CSR {
+	b := NewBuilder(g.N())
+	for _, e := range g.Edges() {
+		b.MustAddEdge(e.U, e.V, e.Weight)
+	}
+	c, err := b.Finish()
+	if err != nil {
+		// g is simple by construction; a duplicate here is impossible.
+		panic(err)
+	}
+	return c
+}

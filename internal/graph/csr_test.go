@@ -1,0 +1,184 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// csrFamilies enumerates every generator family with both construction
+// routes: the map-based Graph and the streaming Builder. Random families
+// receive separately seeded rngs so the test can prove both routes consume
+// the stream identically.
+type csrFamily struct {
+	name   string
+	mapped func(rng *rand.Rand) *Graph
+	stream func(b *Builder, rng *rand.Rand)
+	n      int
+}
+
+func csrFamilies() []csrFamily {
+	return []csrFamily{
+		{"path", func(*rand.Rand) *Graph { return Path(17) },
+			func(b *Builder, _ *rand.Rand) { EmitPath(17, b.MustAddEdge) }, 17},
+		{"cycle", func(*rand.Rand) *Graph { g, _ := Cycle(12); return g },
+			func(b *Builder, _ *rand.Rand) { EmitCycle(12, b.MustAddEdge) }, 12},
+		{"complete", func(*rand.Rand) *Graph { return Complete(9) },
+			func(b *Builder, _ *rand.Rand) { EmitComplete(9, b.MustAddEdge) }, 9},
+		{"star", func(*rand.Rand) *Graph { return Star(11) },
+			func(b *Builder, _ *rand.Rand) { EmitStar(11, b.MustAddEdge) }, 11},
+		{"grid", func(*rand.Rand) *Graph { return Grid(4, 5) },
+			func(b *Builder, _ *rand.Rand) { EmitGrid(4, 5, b.MustAddEdge) }, 20},
+		{"random", func(rng *rand.Rand) *Graph { return RandomGraph(15, 0.3, rng) },
+			func(b *Builder, rng *rand.Rand) { EmitRandom(15, 0.3, rng, b.MustAddEdge) }, 15},
+		{"random-connected", func(rng *rand.Rand) *Graph { return RandomConnectedGraph(14, 0.2, rng) },
+			func(b *Builder, rng *rand.Rand) { EmitRandomConnected(14, 0.2, rng, b.MustAddEdge) }, 14},
+		{"tree", func(rng *rand.Rand) *Graph { return RandomSpanningTree(13, rng) },
+			func(b *Builder, rng *rand.Rand) { EmitSpanningTree(13, rng, b.MustAddEdge) }, 13},
+	}
+}
+
+// TestBuilderMatchesMapPath is the streaming-equivalence guarantee: for
+// every generator family, the CSR built by streaming edges into a Builder is
+// byte-identical (offsets, targets, weights) to the CSR converted from the
+// map-built Graph, and the random families leave both rngs in the same
+// state, proving identical stream consumption.
+func TestBuilderMatchesMapPath(t *testing.T) {
+	for _, f := range csrFamilies() {
+		t.Run(f.name, func(t *testing.T) {
+			rngA := rand.New(rand.NewSource(42))
+			rngB := rand.New(rand.NewSource(42))
+			g := f.mapped(rngA)
+			fromMap := FromGraph(g)
+			b := NewBuilder(f.n)
+			f.stream(b, rngB)
+			streamed, err := b.Finish()
+			if err != nil {
+				t.Fatalf("Finish: %v", err)
+			}
+			if !reflect.DeepEqual(fromMap.offsets, streamed.offsets) {
+				t.Errorf("offsets differ:\n map: %v\n csr: %v", fromMap.offsets, streamed.offsets)
+			}
+			if !reflect.DeepEqual(fromMap.targets, streamed.targets) {
+				t.Errorf("targets differ:\n map: %v\n csr: %v", fromMap.targets, streamed.targets)
+			}
+			if !reflect.DeepEqual(fromMap.weights, streamed.weights) {
+				t.Errorf("weights differ:\n map: %v\n csr: %v", fromMap.weights, streamed.weights)
+			}
+			if a, b := rngA.Int63(), rngB.Int63(); a != b {
+				t.Errorf("rng streams diverged after generation: %d vs %d", a, b)
+			}
+		})
+	}
+}
+
+// TestCSRMatchesGraphSemantics checks the CSR's read methods against the
+// Graph they were built from: N/M, degrees, sorted neighbour lists, weights
+// (present and absent), the indexed Neighbor accessor and BFS distances.
+func TestCSRMatchesGraphSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := RandomConnectedGraph(23, 0.25, rng)
+	c := FromGraph(g)
+	if c.N() != g.N() || c.M() != g.M() {
+		t.Fatalf("size mismatch: CSR n=%d m=%d, graph n=%d m=%d", c.N(), c.M(), g.N(), g.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		if c.Degree(v) != g.Degree(v) {
+			t.Fatalf("degree(%d): CSR %d, graph %d", v, c.Degree(v), g.Degree(v))
+		}
+		want := g.Neighbors(v)
+		got := c.Neighbors(v)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("neighbors(%d): CSR %v, graph %v", v, got, want)
+		}
+		for i, u := range want {
+			nbr, w := c.Neighbor(v, i)
+			if nbr != u {
+				t.Fatalf("Neighbor(%d,%d) = %d, want %d", v, i, nbr, u)
+			}
+			gw, ok := g.Weight(v, u)
+			if !ok || w != gw {
+				t.Fatalf("weight(%d,%d): CSR %g, graph %g (ok=%v)", v, u, w, gw, ok)
+			}
+			cw, ok := c.Weight(v, u)
+			if !ok || cw != gw {
+				t.Fatalf("Weight(%d,%d): CSR %g ok=%v, want %g", v, u, cw, ok, gw)
+			}
+		}
+	}
+	if _, ok := c.Weight(0, g.N()); ok {
+		t.Error("Weight accepted out-of-range vertex")
+	}
+	wantDist := g.BFS(0).Dist
+	gotDist := c.BFSDist(0)
+	if !reflect.DeepEqual(gotDist, wantDist) {
+		t.Errorf("BFSDist disagrees with graph BFS")
+	}
+}
+
+// TestCSRWeightBinarySearch exercises the binary-search branch of Weight
+// (degree > 16) with the star centre.
+func TestCSRWeightBinarySearch(t *testing.T) {
+	c := FromGraph(Star(40))
+	for v := 1; v < 40; v++ {
+		w, ok := c.Weight(0, v)
+		if !ok || w != 1 {
+			t.Fatalf("Weight(0,%d) = %g, %v", v, w, ok)
+		}
+	}
+	if _, ok := c.Weight(1, 2); ok {
+		t.Error("Weight found a leaf-leaf edge in a star")
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	b := NewBuilder(4)
+	if err := b.AddEdge(0, 4, 1); !errors.Is(err, ErrVertexOutOfRange) {
+		t.Errorf("out of range: got %v", err)
+	}
+	if err := b.AddEdge(2, 2, 1); !errors.Is(err, ErrSelfLoop) {
+		t.Errorf("self loop: got %v", err)
+	}
+	if err := b.AddEdge(0, 1, 0); !errors.Is(err, ErrNonPositiveWeight) {
+		t.Errorf("zero weight: got %v", err)
+	}
+	b.MustAddEdge(0, 1, 1)
+	b.MustAddEdge(1, 0, 2) // duplicate in reverse orientation
+	if _, err := b.Finish(); !errors.Is(err, ErrParallelEdge) {
+		t.Errorf("Finish on duplicate edge: got %v", err)
+	}
+}
+
+func TestBuilderEmpty(t *testing.T) {
+	c, err := NewBuilder(3).Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 3 || c.M() != 0 || c.Degree(0) != 0 {
+		t.Errorf("empty CSR: n=%d m=%d deg0=%d", c.N(), c.M(), c.Degree(0))
+	}
+	if d := c.BFSDist(1); d[0] != -1 || d[1] != 0 || d[2] != -1 {
+		t.Errorf("BFSDist on edgeless CSR: %v", d)
+	}
+}
+
+// TestCSRSlowNeighborCounter pins the builder-stats counter: Degree/Neighbor
+// reads are free, every allocating Neighbors call is counted.
+func TestCSRSlowNeighborCounter(t *testing.T) {
+	c := FromGraph(Path(5))
+	for v := 0; v < 5; v++ {
+		c.Degree(v)
+		if c.Degree(v) > 0 {
+			c.Neighbor(v, 0)
+		}
+	}
+	if got := c.SlowNeighborCalls(); got != 0 {
+		t.Fatalf("indexed reads bumped the slow counter: %d", got)
+	}
+	c.Neighbors(2)
+	c.Neighbors(3)
+	if got := c.SlowNeighborCalls(); got != 2 {
+		t.Fatalf("SlowNeighborCalls = %d, want 2", got)
+	}
+}

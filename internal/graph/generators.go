@@ -5,12 +5,15 @@ import (
 	"math/rand"
 )
 
+// The Graph constructors below are thin wrappers over the streaming
+// emitters in stream.go — a Graph's MustAddEdge is itself an EdgeEmitter —
+// so the map-based and CSR construction routes consume one shared edge
+// stream per family.
+
 // Path returns the path graph v0-v1-...-v(n-1) with unit weights.
 func Path(n int) *Graph {
 	g := New(n)
-	for i := 0; i+1 < n; i++ {
-		g.MustAddEdge(i, i+1, 1)
-	}
+	EmitPath(n, g.MustAddEdge)
 	return g
 }
 
@@ -19,28 +22,22 @@ func Cycle(n int) (*Graph, error) {
 	if n < 3 {
 		return nil, fmt.Errorf("graph: cycle requires n >= 3, got %d", n)
 	}
-	g := Path(n)
-	g.MustAddEdge(n-1, 0, 1)
+	g := New(n)
+	EmitCycle(n, g.MustAddEdge)
 	return g, nil
 }
 
 // Complete returns the complete graph K_n with unit weights.
 func Complete(n int) *Graph {
 	g := New(n)
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			g.MustAddEdge(u, v, 1)
-		}
-	}
+	EmitComplete(n, g.MustAddEdge)
 	return g
 }
 
 // Star returns the star graph with centre 0 and n-1 leaves, unit weights.
 func Star(n int) *Graph {
 	g := New(n)
-	for v := 1; v < n; v++ {
-		g.MustAddEdge(0, v, 1)
-	}
+	EmitStar(n, g.MustAddEdge)
 	return g
 }
 
@@ -48,17 +45,7 @@ func Star(n int) *Graph {
 // has index r*cols+c.
 func Grid(rows, cols int) *Graph {
 	g := New(rows * cols)
-	idx := func(r, c int) int { return r*cols + c }
-	for r := 0; r < rows; r++ {
-		for c := 0; c < cols; c++ {
-			if c+1 < cols {
-				g.MustAddEdge(idx(r, c), idx(r, c+1), 1)
-			}
-			if r+1 < rows {
-				g.MustAddEdge(idx(r, c), idx(r+1, c), 1)
-			}
-		}
-	}
+	EmitGrid(rows, cols, g.MustAddEdge)
 	return g
 }
 
@@ -66,13 +53,7 @@ func Grid(rows, cols int) *Graph {
 // rng for reproducibility.
 func RandomGraph(n int, p float64, rng *rand.Rand) *Graph {
 	g := New(n)
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			if rng.Float64() < p {
-				g.MustAddEdge(u, v, 1)
-			}
-		}
-	}
+	EmitRandom(n, p, rng, g.MustAddEdge)
 	return g
 }
 
@@ -81,19 +62,7 @@ func RandomGraph(n int, p float64, rng *rand.Rand) *Graph {
 // independently with probability p. Unit weights.
 func RandomConnectedGraph(n int, p float64, rng *rand.Rand) *Graph {
 	g := New(n)
-	perm := rng.Perm(n)
-	for i := 1; i < n; i++ {
-		u := perm[i]
-		v := perm[rng.Intn(i)]
-		g.MustAddEdge(u, v, 1)
-	}
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			if !g.HasEdge(u, v) && rng.Float64() < p {
-				g.MustAddEdge(u, v, 1)
-			}
-		}
-	}
+	EmitRandomConnected(n, p, rng, g.MustAddEdge)
 	return g
 }
 

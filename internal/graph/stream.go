@@ -1,0 +1,117 @@
+package graph
+
+import "math/rand"
+
+// The streaming generator layer. Each Emit* function walks one topology
+// family and hands every undirected edge to an EdgeEmitter exactly once, in
+// the family's canonical emission order. The Graph constructors in
+// generators.go and the CSR streaming path are both thin wrappers over the
+// same emitters, so the two construction routes see the same edge stream by
+// construction — including the random families, whose rng consumption order
+// is part of the stream's definition (an equivalence test pins this for
+// every family).
+//
+// The deterministic families stream with O(1) generator state. The random
+// families keep a transient pair-set to keep the graph simple — that set is
+// the generator's own bookkeeping, not an adjacency structure: it is
+// discarded as soon as the stream ends and nothing downstream reads it.
+
+// EdgeEmitter receives one undirected edge {u,v} with weight w. Both
+// (*Builder).MustAddEdge and (*Graph).MustAddEdge satisfy it.
+type EdgeEmitter func(u, v int, w float64)
+
+// EmitPath streams the path v0-v1-...-v(n-1) with unit weights.
+func EmitPath(n int, emit EdgeEmitter) {
+	for i := 0; i+1 < n; i++ {
+		emit(i, i+1, 1)
+	}
+}
+
+// EmitCycle streams the cycle on n vertices with unit weights: the path
+// edges followed by the closing edge (n-1,0). It assumes n >= 3 (Cycle
+// validates).
+func EmitCycle(n int, emit EdgeEmitter) {
+	EmitPath(n, emit)
+	emit(n-1, 0, 1)
+}
+
+// EmitComplete streams K_n with unit weights.
+func EmitComplete(n int, emit EdgeEmitter) {
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			emit(u, v, 1)
+		}
+	}
+}
+
+// EmitStar streams the star with centre 0 and n-1 leaves, unit weights.
+func EmitStar(n int, emit EdgeEmitter) {
+	for v := 1; v < n; v++ {
+		emit(0, v, 1)
+	}
+}
+
+// EmitGrid streams the rows x cols grid with unit weights; vertex (r,c) has
+// index r*cols+c, and each cell emits its right edge before its down edge.
+func EmitGrid(rows, cols int, emit EdgeEmitter) {
+	idx := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				emit(idx(r, c), idx(r, c+1), 1)
+			}
+			if r+1 < rows {
+				emit(idx(r, c), idx(r+1, c), 1)
+			}
+		}
+	}
+}
+
+// EmitRandom streams an Erdős–Rényi G(n,p) graph with unit weights. The rng
+// stream is consumed pair by pair in (u,v) order, exactly as RandomGraph
+// does.
+func EmitRandom(n int, p float64, rng *rand.Rand, emit EdgeEmitter) {
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				emit(u, v, 1)
+			}
+		}
+	}
+}
+
+// EmitRandomConnected streams a connected graph: a random-attachment
+// spanning tree followed by each remaining pair independently with
+// probability p, unit weights. The rng consumption order — including the
+// short-circuit that skips the coin flip for pairs already joined by the
+// tree — replicates RandomConnectedGraph exactly, so both routes draw
+// identical graphs from identical seeds.
+func EmitRandomConnected(n int, p float64, rng *rand.Rand, emit EdgeEmitter) {
+	has := make(map[int64]struct{}, n)
+	key := func(u, v int) int64 {
+		if u > v {
+			u, v = v, u
+		}
+		return int64(u)*int64(n) + int64(v)
+	}
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		u := perm[i]
+		v := perm[rng.Intn(i)]
+		has[key(u, v)] = struct{}{}
+		emit(u, v, 1)
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if _, tree := has[key(u, v)]; !tree && rng.Float64() < p {
+				emit(u, v, 1)
+			}
+		}
+	}
+}
+
+// EmitSpanningTree streams a uniformly grown random tree (random attachment
+// model), matching RandomSpanningTree's rng consumption.
+func EmitSpanningTree(n int, rng *rand.Rand, emit EdgeEmitter) {
+	EmitRandomConnected(n, 0, rng, emit)
+}
